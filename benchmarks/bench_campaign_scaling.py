@@ -1,0 +1,53 @@
+"""Campaign-scaling bench: makespan vs number of zoom requests.
+
+§5.1: "As each server cannot compute more than one simulation at the same
+time, we won't be able to have more than 11 parallel computations at the
+same time."  The consequence is wave scheduling: the part-2 makespan grows
+in steps of ceil(n / 11) waves of mean zoom duration.  This bench sweeps n
+and checks that staircase (plus the linearity of the sequential estimate).
+"""
+
+import math
+
+import pytest
+
+from repro.services import CampaignConfig, run_campaign
+
+
+def measure(n_sub):
+    result = run_campaign(CampaignConfig(n_sub_simulations=n_sub))
+    ends = [t.completed_at for t in result.part2_traces]
+    starts = [t.submitted_at for t in result.part2_traces]
+    return {
+        "n": n_sub,
+        "part2_makespan_h": (max(ends) - min(starts)) / 3600.0,
+        "mean_zoom_h": result.part2_mean_duration / 3600.0,
+        "sequential_h": result.sequential_estimate / 3600.0,
+    }
+
+
+def test_bench_campaign_scaling(benchmark, show_report):
+    rows = benchmark.pedantic(
+        lambda: [measure(n) for n in (11, 22, 55, 100)],
+        rounds=1, iterations=1)
+
+    lines = ["campaign scaling (11 SeDs; waves of ceil(n/11)):",
+             f"{'n':>5} {'waves':>6} {'part-2 makespan':>16} "
+             f"{'sequential':>11} {'speedup':>8}"]
+    for row in rows:
+        waves = math.ceil(row["n"] / 11)
+        speedup = row["sequential_h"] / row["part2_makespan_h"]
+        lines.append(f"{row['n']:>5} {waves:>6} "
+                     f"{row['part2_makespan_h']:>15.2f}h "
+                     f"{row['sequential_h']:>10.1f}h {speedup:>7.2f}x")
+    show_report("\n".join(lines))
+
+    # staircase: makespan ~ waves x mean zoom duration (within wave scatter)
+    for row in rows:
+        waves = math.ceil(row["n"] / 11)
+        assert row["part2_makespan_h"] == pytest.approx(
+            waves * row["mean_zoom_h"], rel=0.35)
+    # one full wave (n=11) runs everything in parallel
+    assert rows[0]["part2_makespan_h"] < 2.2 * rows[0]["mean_zoom_h"]
+    # sequential estimate is linear in n
+    assert rows[3]["sequential_h"] > 8.0 * rows[0]["sequential_h"]

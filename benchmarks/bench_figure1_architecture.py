@@ -1,0 +1,13 @@
+"""Figure 1 benchmark: deploy + validate the full hierarchy."""
+
+from repro.experiments import figure1_architecture
+
+
+def test_bench_figure1_architecture(benchmark, show_report):
+    result = benchmark(figure1_architecture.run)
+    show_report(figure1_architecture.render(result))
+
+    assert result.n_agents == 7        # 1 MA + 6 LAs (§5.1)
+    assert result.n_seds == 11
+    services = result.services_per_sed()
+    assert all(v == ["ramsesZoom1", "ramsesZoom2"] for v in services.values())

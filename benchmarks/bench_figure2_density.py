@@ -1,0 +1,16 @@
+"""E8 benchmark: Figure 2 analogue — density field through cosmic time.
+
+A real PM run; the assertion is the figure's content: fluctuations grow
+left-to-right and high-density peaks (halos) exist in the final panel.
+"""
+
+from repro.experiments import figure2_density
+
+
+def test_bench_figure2_density(benchmark, show_report):
+    result = benchmark.pedantic(figure2_density.run, rounds=1, iterations=1)
+    show_report(figure2_density.render(result))
+
+    assert result.monotone_growth
+    assert result.max_delta[-1] > 50.0      # collapsed structures by a=1
+    assert result.n_halos_final >= 5

@@ -1,0 +1,19 @@
+"""E9 benchmark: Figure 3 analogue — zoom re-simulation of a halo.
+
+A real two-step zoom; the assertions are the figure's content: the region
+around the chosen halo gains resolution, and the halo re-forms there.
+"""
+
+from repro.experiments import figure3_zoom
+
+
+def test_bench_figure3_zoom(benchmark, show_report):
+    result = benchmark.pedantic(figure3_zoom.run, rounds=1, iterations=1)
+    show_report(figure3_zoom.render(result))
+
+    # mass resolution in the Lagrangian volume improves by exactly 8^levels
+    assert result.mass_resolution_gain == result.expected_gain
+    # the halo region holds more particles and sits where the parent put it
+    # (within ~one coarse cell: a one-level PM zoom, not full AMR)
+    assert result.particle_boost > 1.5
+    assert result.center_offset < 1.5 / 16

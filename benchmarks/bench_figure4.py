@@ -1,0 +1,16 @@
+"""E2/E3 benchmark: regenerate Figure 4 (Gantt + per-SeD execution time)."""
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, show_report):
+    result = benchmark(figure4.run)
+    show_report(figure4.render(result))
+
+    # E2: the 9/9/.../10 request distribution
+    assert result.distribution == [9] * 10 + [10]
+    # E3: busy-time shape — Toulouse ~15h, Nancy ~10.5h
+    busy = result.busy_hours_by_cluster
+    assert abs(min(busy["nancy-grillon"]) - 10.5) < 1.0
+    assert abs(max(busy["toulouse-violette"]) - 15.0) < 1.5
+    assert result.busy_spread > 1.3

@@ -1,0 +1,15 @@
+"""E4/E5 benchmark: regenerate Figure 5 (finding time + latency)."""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, show_report):
+    result = benchmark(figure5.run)
+    show_report(figure5.render(result))
+
+    # E4: finding time low, nearly constant, ~49.8 ms average
+    assert abs(result.finding_mean_ms - 49.8) < 2.0
+    assert result.finding_cv < 0.10
+    # E5: latency rises by orders of magnitude (queueing), log-scale shape
+    assert result.latency_growth_decades > 4.0
+    assert result.first_wave_latency_ms < 500.0

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the numerical kernels (throughput tracking).
+
+Not paper figures — these guard the vectorized hot paths (CIC, FFT Poisson,
+Hilbert keys, FoF) against performance regressions, per the hpc-parallel
+guide's "no optimization without measuring".
+"""
+
+import numpy as np
+import pytest
+
+from repro.galics import friends_of_friends
+from repro.ramses import (
+    EDS,
+    GravitySolver,
+    cic_deposit,
+    hilbert_encode,
+    poisson_solve,
+)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(0)
+    x = rng.random((64 ** 3 // 4, 3))   # 65k particles
+    mass = np.full(len(x), 1.0 / len(x))
+    return x, mass
+
+
+def test_bench_cic_deposit(benchmark, cloud):
+    x, mass = cloud
+    grid = benchmark(cic_deposit, x, mass, 64)
+    assert grid.sum() == pytest.approx(1.0)
+
+
+def test_bench_poisson_solve(benchmark):
+    rng = np.random.default_rng(1)
+    src = rng.standard_normal((64, 64, 64))
+    phi = benchmark(poisson_solve, src)
+    assert np.all(np.isfinite(phi))
+
+
+def test_bench_full_force_evaluation(benchmark, cloud):
+    x, mass = cloud
+    solver = GravitySolver(EDS, 64)
+    result = benchmark(solver.accelerations, x, mass, 0.5)
+    assert result.acc.shape == (len(x), 3)
+
+
+def test_bench_hilbert_encode(benchmark):
+    rng = np.random.default_rng(2)
+    n = 1 << 10
+    ix = rng.integers(0, n, 100_000)
+    iy = rng.integers(0, n, 100_000)
+    iz = rng.integers(0, n, 100_000)
+    keys = benchmark(hilbert_encode, ix, iy, iz, 10)
+    assert len(np.unique(keys)) > 90_000
+
+
+def test_bench_fof(benchmark):
+    rng = np.random.default_rng(3)
+    x = rng.random((20_000, 3))
+    labels = benchmark(friends_of_friends, x, 0.01)
+    assert len(labels) == 20_000

@@ -1,0 +1,90 @@
+"""Middleware micro-benchmarks + scaling ablations.
+
+* finding-time scaling with the number of SeDs per cluster (hierarchy
+  fan-out): the agent tree collects estimates in parallel, so finding time
+  should grow sub-linearly;
+* Hilbert vs slab decomposition communication volume (the §3 partitioning
+  choice), as an ablation bench.
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.core import ProfileDesc, deploy_paper_hierarchy, scalar_desc
+from repro.core.data import BaseType
+from repro.platform import ClusterSpec, build_grid5000
+from repro.ramses import decompose, exchange_matrix, slab_ranks
+from repro.sim import Engine
+
+
+def _measure_finding_time(n_seds_per_cluster: int) -> float:
+    specs = [
+        ClusterSpec("site0", "c0", "opteron-250", 16 * (n_seds_per_cluster + 1),
+                    n_seds=n_seds_per_cluster),
+        ClusterSpec("site1", "c1", "opteron-248", 16 * (n_seds_per_cluster + 1),
+                    n_seds=n_seds_per_cluster),
+    ]
+    engine = Engine()
+    dep = deploy_paper_hierarchy(build_grid5000(engine, cluster_specs=specs))
+    desc = ProfileDesc("probe", 0, 0, 1)
+    desc.set_arg(0, scalar_desc(BaseType.INT))
+    desc.set_arg(1, scalar_desc(BaseType.INT))
+
+    def solve(profile, ctx):
+        yield from ctx.execute(0.01)
+        profile.parameter(1).set(0)
+        return 0
+
+    for sed in dep.seds:
+        sed.add_service(desc, solve)
+    dep.launch_all()
+    client = dep.client
+
+    def run():
+        client.initialize({"MA_name": "MA"})
+        for i in range(10):
+            profile = desc.instantiate()
+            profile.parameter(0).set(i)
+            profile.parameter(1).set(None)
+            yield from client.call(profile)
+
+    engine.run_process(run())
+    return statistics.mean(dep.tracer.finding_times("probe"))
+
+
+def test_bench_finding_time_scaling(benchmark, show_report):
+    """Estimate collection is parallel: 8x the SeDs costs < 2x the time."""
+    times = benchmark.pedantic(
+        lambda: {n: _measure_finding_time(n) for n in (1, 2, 4, 8)},
+        rounds=1, iterations=1)
+    lines = ["finding time vs SeDs per cluster (parallel estimate fan-out):"]
+    for n, t in times.items():
+        lines.append(f"  {2 * n:2d} SeDs: {t * 1e3:6.2f} ms")
+    show_report("\n".join(lines))
+    assert times[8] < 2.0 * times[1]
+
+
+def test_bench_decomposition_ablation(benchmark, show_report):
+    """Peano-Hilbert vs slab: boundary-exchange volume (lower is better)."""
+    rng = np.random.default_rng(5)
+    # mildly clustered distribution, like an evolved snapshot
+    uniform = rng.random((9000, 3))
+    clump = np.mod(0.5 + 0.1 * rng.standard_normal((3000, 3)), 1.0)
+    x = np.vstack([uniform, clump])
+    ncpu = 16
+
+    def measure():
+        hilbert = decompose(x, ncpu).rank_of_positions(x)
+        slab = slab_ranks(x, ncpu)
+        return (int(exchange_matrix(hilbert, x, ncpu).sum()),
+                int(exchange_matrix(slab, x, ncpu).sum()))
+
+    comm_hilbert, comm_slab = benchmark(measure)
+    show_report(
+        "domain-decomposition ablation (boundary exchange proxy, lower wins):\n"
+        f"  Peano-Hilbert: {comm_hilbert}\n"
+        f"  slab:          {comm_slab}\n"
+        f"  ratio:         {comm_slab / comm_hilbert:.2f}x in favour of Hilbert")
+    assert comm_hilbert < comm_slab

@@ -1,0 +1,14 @@
+"""E6 benchmark: regenerate the §5.2 middleware-overhead numbers."""
+
+from repro.experiments import overhead
+
+
+def test_bench_overhead(benchmark, show_report):
+    result = benchmark(overhead.run)
+    show_report(overhead.render(result))
+
+    # paper: initiation 20.8 ms, per-simulation 70.6 ms, total ~7 s
+    assert abs(result.init_time_ms - 20.8) < 1.0
+    assert abs(result.per_request_overhead_ms - 70.6) < 3.0
+    assert abs(result.total_overhead_s - 7.0) < 1.0
+    assert result.overhead_fraction < 1e-4

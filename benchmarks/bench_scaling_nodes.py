@@ -1,0 +1,16 @@
+"""E10 benchmark: the nodes-per-SeD scaling ablation (§4.1's granularity)."""
+
+from repro.experiments import scaling_nodes
+
+
+def test_bench_scaling_nodes(benchmark, show_report):
+    result = benchmark.pedantic(scaling_nodes.run, rounds=1, iterations=1)
+    show_report(scaling_nodes.render(result))
+
+    # near-linear at small rank counts
+    assert result.efficiency(2) > 0.85
+    # the paper's 16-machines choice sits on the efficient plateau
+    assert result.efficiency(16) > 0.6
+    # communication eventually kills scaling
+    assert result.efficiency(128) < result.efficiency(16)
+    assert 16 <= result.knee() <= 64

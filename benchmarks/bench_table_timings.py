@@ -1,0 +1,19 @@
+"""E1 benchmark: regenerate the §5.2 headline timings (paper vs measured)."""
+
+from repro.experiments import table_timings
+from repro.services import (
+    PAPER_PART1_SECONDS,
+    PAPER_PART2_MEAN_SECONDS,
+    PAPER_TOTAL_SECONDS,
+)
+
+
+def test_bench_table_timings(benchmark, show_report):
+    result = benchmark(table_timings.run)
+    show_report(table_timings.render(result))
+
+    assert abs(result.part1_seconds - PAPER_PART1_SECONDS) < 0.02 * PAPER_PART1_SECONDS
+    assert abs(result.part2_mean_seconds
+               - PAPER_PART2_MEAN_SECONDS) < 0.02 * PAPER_PART2_MEAN_SECONDS
+    assert abs(result.total_seconds - PAPER_TOTAL_SECONDS) < 0.05 * PAPER_TOTAL_SECONDS
+    assert result.sequential_hours > 141.0

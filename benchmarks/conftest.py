@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Every figure/table benchmark runs its experiment through pytest-benchmark
+(so `pytest benchmarks/ --benchmark-only` regenerates the paper's results
+with timing) and prints the experiment's report — the same rows/series the
+paper presents — to the terminal report section.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "report: experiment benchmark with a printed report")
+
+
+@pytest.fixture
+def show_report(request, capsys):
+    """Collect a rendered experiment report and emit it after the test."""
+    reports = []
+
+    def _add(text: str) -> None:
+        reports.append(text)
+
+    yield _add
+    if reports:
+        with capsys.disabled():
+            print()
+            print("=" * 78)
+            print(f"[{request.node.name}]")
+            for text in reports:
+                print(text)
+            print("=" * 78)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""The paper's §4 in runnable form: writing a DIET server and client.
+
+Follows the paper's code listings step by step — profile description with
+``(last_in, last_inout, last_out)``, service-table registration, the solve
+function reading IN arguments and setting OUT ones, and the GridRPC-flavoured
+client (grpc_initialize / grpc_call / grpc_finalize).
+
+Run:  python examples/gridrpc_api_tour.py
+"""
+
+from repro.core import (
+    BaseType,
+    FileRef,
+    ProfileDesc,
+    deploy_paper_hierarchy,
+    file_desc,
+    scalar_desc,
+)
+from repro.core.gridrpc import (
+    grpc_call,
+    grpc_finalize,
+    grpc_function_handle_default,
+    grpc_initialize,
+    grpc_profile_alloc,
+)
+from repro.platform import build_grid5000
+from repro.sim import Engine
+
+
+# -- §4.2.1: defining the service profile ---------------------------------------
+# The paper: arg.profile = diet_profile_desc_alloc("ramsesZoom2", 6, 6, 8);
+# here a reduced two-IN/two-OUT service for the tour.
+
+def make_profile_desc() -> ProfileDesc:
+    desc = ProfileDesc("demoSolve", last_in=1, last_inout=1, last_out=3)
+    desc.set_arg(0, file_desc())                    # IN: a parameter file
+    desc.set_arg(1, scalar_desc(BaseType.INT))      # IN: a resolution
+    desc.set_arg(2, file_desc())                    # OUT: a result file
+    desc.set_arg(3, scalar_desc(BaseType.INT))      # OUT: error control
+    return desc
+
+
+# -- §4.2.2/§4.2.3: the solve function -------------------------------------------
+# int solve_demoSolve(diet_profile_t* pb) { /* download, compute, upload */ }
+
+def solve_demo(profile, ctx):
+    namelist = profile.parameter(0).get()           # diet_file_get
+    resolution = profile.parameter(1).get()         # diet_scalar_get
+    print(f"    [SeD {ctx.sed.name}] solving with {namelist.path!r} "
+          f"at resolution {resolution}")
+    yield from ctx.execute(float(resolution))       # the computation
+    # "The results of the simulation are packed into a tarball file":
+    profile.parameter(2).set(FileRef("results.tar.gz", nbytes=1 << 20))
+    profile.parameter(3).set(0)                     # error control
+    return 0
+
+
+def main() -> None:
+    engine = Engine()
+    platform = build_grid5000(engine)
+    deployment = deploy_paper_hierarchy(platform)
+
+    # -- server side: register + diet_SeD() --------------------------------------
+    desc = make_profile_desc()
+    for sed in deployment.seds:
+        sed.add_service(desc, solve_demo)           # diet_service_table_add
+    deployment.launch_all()                         # diet_SeD()
+    print("service table on one SeD:")
+    print("  " + deployment.seds[0].table.print_table().replace("\n", "\n  "))
+
+    # -- client side: §4.3.1's main() skeleton ------------------------------------
+    client = deployment.client
+
+    def client_main():
+        grpc_initialize(client, {"MA_name": "MA"})  # diet_initialize()
+        handle = grpc_function_handle_default(client, "demoSolve")
+        profile = grpc_profile_alloc(desc)
+        # IN parameters (diet_file_set / diet_scalar_set):
+        profile.parameter(0).set(FileRef("namelist.nml", nbytes=2048))
+        profile.parameter(1).set(64)
+        # "OUT arguments should be declared even if their values is set to
+        # NULL" (§4.3.1):
+        profile.parameter(2).set(None)
+        profile.parameter(3).set(None)
+
+        status = yield from grpc_call(client, handle, profile)
+
+        # after the call: read the error code before touching the file
+        error = profile.parameter(3).get()
+        if not error:
+            tarball = profile.parameter(2).get()
+            print(f"  call returned status={status} on {handle.server}; "
+                  f"result file {tarball.path!r} ({tarball.nbytes} bytes)")
+        grpc_finalize(client)                       # diet_finalize()
+        # OUT data survive finalize (§4.3.1) - still accessible:
+        assert profile.parameter(2).get() is not None
+
+    print("\nclient session:")
+    engine.run_process(client_main())
+    trace = deployment.tracer.all_traces("demoSolve")[0]
+    print(f"  finding time {trace.finding_time * 1e3:.1f} ms, "
+          f"latency {trace.latency * 1e3:.1f} ms, "
+          f"solve {trace.solve_duration:.1f} s (simulated)")
+
+
+if __name__ == "__main__":
+    main()

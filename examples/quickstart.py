@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's experiment in thirty seconds.
+
+Builds the Grid'5000 model, deploys the DIET hierarchy (1 MA, 6 LAs,
+11 SeDs), registers the ramsesZoom1/ramsesZoom2 services, and runs the §5
+campaign — one 128^3 simulation, then 100 simultaneous zoom sub-simulations
+— in MODELED execution mode (calibrated timings, no physics computed).
+
+Run:  python examples/quickstart.py
+"""
+
+import statistics
+
+from repro.experiments.report import ascii_gantt, hms
+from repro.services import CampaignConfig, run_campaign
+
+
+def main() -> None:
+    print("Running the paper's campaign (MODELED mode, 100 zooms, 11 SeDs)...")
+    result = run_campaign(CampaignConfig())
+
+    print()
+    print("=== §5.2 headline numbers (measured vs paper) ===")
+    rows = [
+        ("part 1 (128^3 full box)", result.part1_duration, "1h 15min 11s"),
+        ("part 2 (mean of 100 zooms)", result.part2_mean_duration, "1h 24min 01s"),
+        ("total campaign", result.total_elapsed, "16h 18min 43s"),
+    ]
+    for label, seconds, paper in rows:
+        print(f"  {label:30s} {hms(seconds):>14s}   (paper: {paper})")
+    print(f"  {'sequential estimate':30s} "
+          f"{result.sequential_estimate / 3600:11.1f} h   (paper: >141h)")
+    print(f"  {'speedup':30s} {result.speedup:12.2f} x")
+
+    print()
+    print("=== scheduling (Figures 4-5) ===")
+    counts = sorted(result.requests_per_sed().values())
+    print(f"  requests per SeD: {counts}  (paper: 9 x 10 SeDs, 10 x 1)")
+    finding = statistics.mean(result.finding_times()) * 1e3
+    print(f"  mean finding time: {finding:.1f} ms  (paper: 49.8 ms)")
+    lat = result.latencies()
+    print(f"  latency: first wave {min(lat) * 1e3:.0f} ms -> "
+          f"last wave {max(lat) / 3600:.1f} h (queueing)")
+
+    print()
+    print("=== Gantt chart of the 100 sub-simulations (Figure 4 left) ===")
+    print(ascii_gantt(result.gantt()))
+
+
+if __name__ == "__main__":
+    main()

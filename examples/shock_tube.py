@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The hydro half of RAMSES: a Sod shock tube against the exact solution.
+
+§3 describes RAMSES as an N-body solver "coupled to a finite volume Euler
+solver".  This example exercises that finite-volume solver standalone: a
+Sod shock tube on a 256-cell grid, compared against the exact Riemann
+solution, rendered as ASCII profiles.
+
+Run:  python examples/shock_tube.py
+"""
+
+import numpy as np
+
+from repro.ramses import HydroSolver, HydroState, sample_riemann, sod_states
+
+
+def ascii_profile(x, values, exact, width=72, height=14, label=""):
+    lo = min(values.min(), exact.min())
+    hi = max(values.max(), exact.max())
+    span = max(hi - lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for xs, vs, mark in ((x, exact, "."), (x, values, "*")):
+        for xi, vi in zip(xs, vs):
+            col = int(xi * (width - 1))
+            row = height - 1 - int((vi - lo) / span * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{hi:8.3f} |" + "".join(grid[0])]
+    lines += ["         |" + "".join(row) for row in grid[1:-1]]
+    lines += [f"{lo:8.3f} |" + "".join(grid[-1])]
+    lines.append("          " + "-" * width)
+    lines.append(f"          {label}:  * = HLLC solver   . = exact Riemann")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    n, t_end = 256, 0.1
+    print(f"Sod shock tube, {n} cells, HLLC Godunov to t={t_end} ...")
+    idx = np.arange(n)
+    rho = np.where(idx < n // 2, 1.0, 0.125)[:, None, None] * np.ones((1, 4, 4))
+    p = np.where(idx < n // 2, 1.0, 0.1)[:, None, None] * np.ones((1, 4, 4))
+    state = HydroState.from_primitive(rho, np.zeros((n, 4, 4, 3)), p)
+    steps = HydroSolver(cfl=0.4).run(state, t_end, dx=1.0 / n)
+
+    x = (idx + 0.5) / n
+    left, right = sod_states()
+    exact = sample_riemann(left, right, (x - 0.5) / t_end)
+    # keep the central region (periodic-wrap waves contaminate the edges)
+    mask = (x > 0.25) & (x < 0.78)
+
+    print(f"\n{steps} CFL steps; density profile:")
+    print(ascii_profile(x[mask], state.rho[:, 0, 0][mask], exact[mask, 0],
+                        label="density"))
+    print("\nvelocity profile:")
+    print(ascii_profile(x[mask], state.velocity()[:, 0, 0, 0][mask],
+                        exact[mask, 1], label="velocity"))
+
+    err = np.abs(state.rho[:, 0, 0][mask] - exact[mask, 0]).mean()
+    print(f"\nmean density error vs exact solution: {err:.4f} "
+          f"(first-order Godunov at {n} cells)")
+    print("wave structure: rarefaction fan | contact | shock  — all present.")
+
+
+if __name__ == "__main__":
+    main()

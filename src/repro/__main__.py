@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Runs one experiment reproduction and prints its report — the same modules
+the benchmark suite drives, without pytest in the way.
+
+    python -m repro list                 # what can I run?
+    python -m repro timings              # E1, the §5.2 headline numbers
+    python -m repro figure4              # E2/E3
+    python -m repro campaign --policy mct --n-sub 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from .experiments import (
+    ablation_scheduler,
+    figure1_architecture,
+    figure2_density,
+    figure3_zoom,
+    figure4,
+    figure5,
+    overhead,
+    scaling_nodes,
+    table_timings,
+)
+
+#: name -> (description, runner returning printable text)
+_EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "architecture": ("Figure 1: the deployed DIET hierarchy",
+                     lambda: figure1_architecture.render(
+                         figure1_architecture.run())),
+    "timings": ("E1: §5.2 campaign timings vs the paper",
+                lambda: table_timings.render(table_timings.run())),
+    "figure4": ("E2/E3: request distribution + per-SeD execution time",
+                lambda: figure4.render(figure4.run())),
+    "figure5": ("E4/E5: finding time + latency",
+                lambda: figure5.render(figure5.run())),
+    "overhead": ("E6: middleware overhead",
+                 lambda: overhead.render(overhead.run())),
+    "ablation": ("E7: plug-in scheduler ablation",
+                 lambda: ablation_scheduler.render(ablation_scheduler.run())),
+    "figure2": ("E8: projected density through cosmic time (real run)",
+                lambda: figure2_density.render(figure2_density.run())),
+    "figure3": ("E9: zoom re-simulation of a halo (real run)",
+                lambda: figure3_zoom.render(figure3_zoom.run())),
+    "scaling": ("E10: nodes-per-SeD scaling ablation",
+                lambda: scaling_nodes.render(scaling_nodes.run())),
+}
+
+
+def _run_campaign(args) -> str:
+    from .experiments.report import hms
+    from .services import CampaignConfig, run_campaign
+
+    config = CampaignConfig(n_sub_simulations=args.n_sub, policy=args.policy,
+                            with_predictor=args.policy == "mct",
+                            seed=args.seed)
+    result = run_campaign(config)
+    lines = [
+        f"campaign: {args.n_sub} zoom requests, policy={args.policy}, "
+        f"seed={args.seed}",
+        f"  part 1:          {hms(result.part1_duration)}",
+        f"  part 2 mean:     {hms(result.part2_mean_duration)}",
+        f"  total elapsed:   {hms(result.total_elapsed)}",
+        f"  sequential:      {result.sequential_estimate / 3600:.1f} h",
+        f"  speedup:         {result.speedup:.2f}x",
+        f"  requests/SeD:    {sorted(result.requests_per_sed().values())}",
+    ]
+    if args.trace_csv:
+        result.tracer.write_csv(args.trace_csv)
+        lines.append(f"  trace written to {args.trace_csv}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Cosmological Simulations using Grid "
+                    "Middleware' experiments.")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+    for name, (desc, _) in _EXPERIMENTS.items():
+        sub.add_parser(name, help=desc)
+
+    campaign = sub.add_parser("campaign",
+                              help="run a custom campaign configuration")
+    campaign.add_argument("--n-sub", type=int, default=100,
+                          help="number of zoom sub-simulations (default 100)")
+    campaign.add_argument("--policy", default="default",
+                          choices=["default", "mct", "min-queue", "fastest"],
+                          help="scheduler policy")
+    campaign.add_argument("--seed", type=int, default=2007)
+    campaign.add_argument("--trace-csv", default=None,
+                          help="dump the request trace table as CSV")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        width = max(len(n) for n in _EXPERIMENTS) + 2
+        for name, (desc, _) in _EXPERIMENTS.items():
+            print(f"  {name.ljust(width)} {desc}")
+        print(f"  {'campaign'.ljust(width)} custom campaign "
+              "(--n-sub, --policy, --seed, --trace-csv)")
+        return 0
+    if args.command == "campaign":
+        print(_run_campaign(args))
+        return 0
+    _desc, runner = _EXPERIMENTS[args.command]
+    print(runner())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""DIET middleware reimplementation (the paper's contribution surface).
+
+Layers (bottom-up): :mod:`transport` (CORBA substitute over the simulated
+network), :mod:`data`/:mod:`profile` (the DIET data model and service
+profiles of §4.2), :mod:`sed` / :mod:`agent` / :mod:`client` (the
+client/agent/server paradigm of §2.1), :mod:`scheduling` (default and
+plug-in schedulers), :mod:`deployment` (GoDIET-like hierarchy builder) and
+:mod:`statistics` (LogService-like tracing behind Figures 4-5).
+"""
+
+from .agent import AgentParams, LocalAgent, MasterAgent
+from .client import AsyncRequest, DietClient, FunctionHandle
+from .cori import CoRI
+from .data import (
+    ArgDesc,
+    DataHandle,
+    BaseType,
+    CompositeType,
+    DietArg,
+    Direction,
+    FileRef,
+    PersistenceMode,
+    file_desc,
+    matrix_desc,
+    scalar_desc,
+    sizeof_value,
+    string_desc,
+    vector_desc,
+)
+from .deployment import Deployment, deploy_paper_hierarchy
+from .exceptions import (
+    CommunicationError,
+    DataError,
+    DietError,
+    NotCompletedError,
+    NotInitializedError,
+    ProfileError,
+    ServerNotFoundError,
+    ServiceNotFoundError,
+)
+from .logservice import LogCentral, LogEvent, post_event
+from .profile import Profile, ProfileDesc, ServiceTable
+from .requests import (
+    EstimateRequest,
+    SolveReply,
+    SolveRequest,
+    SubmitRequest,
+    new_request_id,
+)
+from .scheduling import (
+    DataLocalityPolicy,
+    DefaultPolicy,
+    EstimationVector,
+    FastestNodePolicy,
+    MCTPolicy,
+    MinQueuePolicy,
+    PriorityListPolicy,
+    RandomPolicy,
+    SchedulerPolicy,
+    SchedulingContext,
+    make_policy,
+)
+from .sed import SeD, SeDParams, SolveContext
+from .statistics import RequestTrace, Tracer
+from .transport import Endpoint, Message, TransportFabric, TransportParams
+
+__all__ = [
+    "AgentParams",
+    "ArgDesc",
+    "AsyncRequest",
+    "BaseType",
+    "CommunicationError",
+    "CompositeType",
+    "CoRI",
+    "DataError",
+    "DataHandle",
+    "DataLocalityPolicy",
+    "DefaultPolicy",
+    "Deployment",
+    "DietArg",
+    "DietClient",
+    "DietError",
+    "Direction",
+    "Endpoint",
+    "EstimateRequest",
+    "EstimationVector",
+    "FastestNodePolicy",
+    "FileRef",
+    "FunctionHandle",
+    "LocalAgent",
+    "LogCentral",
+    "LogEvent",
+    "MCTPolicy",
+    "MasterAgent",
+    "Message",
+    "MinQueuePolicy",
+    "NotCompletedError",
+    "NotInitializedError",
+    "PersistenceMode",
+    "PriorityListPolicy",
+    "Profile",
+    "ProfileDesc",
+    "ProfileError",
+    "RandomPolicy",
+    "RequestTrace",
+    "SchedulerPolicy",
+    "SchedulingContext",
+    "SeD",
+    "SeDParams",
+    "ServerNotFoundError",
+    "ServiceNotFoundError",
+    "ServiceTable",
+    "SolveContext",
+    "SolveReply",
+    "SolveRequest",
+    "SubmitRequest",
+    "Tracer",
+    "TransportFabric",
+    "TransportParams",
+    "deploy_paper_hierarchy",
+    "file_desc",
+    "matrix_desc",
+    "make_policy",
+    "new_request_id",
+    "post_event",
+    "scalar_desc",
+    "sizeof_value",
+    "string_desc",
+    "vector_desc",
+]

@@ -1,0 +1,184 @@
+"""The agent hierarchy: Local Agents and the Master Agent.
+
+§2.1 of the paper: "When a Master Agent receives a computation request from
+a client, agents collect computation abilities from servers (through the
+hierarchy) and chooses the best one according to some scheduling
+heuristics.  The MA sends back a reference to the chosen server."
+
+Both agent kinds forward estimation requests to their children in parallel
+and gather the responses; the Master Agent additionally owns the
+:class:`~repro.core.scheduling.SchedulerPolicy` that ranks candidates, the
+dispatch history used by the default policy, and the completion feedback
+consumed by history-based plug-in schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from ..sim.engine import Engine, Event
+from ..sim.network import Host
+from .exceptions import ServerNotFoundError
+from .logservice import post_event
+from .requests import EstimateRequest, SubmitRequest
+from .scheduling import DefaultPolicy, EstimationVector, SchedulerPolicy, SchedulingContext
+from .statistics import Tracer
+from .transport import Endpoint, TransportFabric
+
+__all__ = ["AgentParams", "LocalAgent", "MasterAgent"]
+
+
+@dataclass(frozen=True)
+class AgentParams:
+    """Agent-side processing cost per request (sorting, bookkeeping)."""
+
+    processing_time: float = 1.8e-3
+    #: Give up on children that do not answer within this many seconds
+    #: (covers crashed SeDs in the failure-injection tests).
+    child_timeout: float = 10.0
+    #: LA-side aggregation: forward only the best ``aggregate_top_k``
+    #: estimates upward (§2.1: agents sort responses through the hierarchy).
+    #: None forwards everything — the MA then sees every candidate, which
+    #: the stateful default/MCT policies need; a top-k cut trades candidate
+    #: visibility for smaller response messages in very wide hierarchies.
+    aggregate_top_k: Optional[int] = None
+
+
+class LocalAgent:
+    """An interior node of the hierarchy: fans requests out to its children.
+
+    Children are endpoint names: SeDs for a leaf LA, further LAs otherwise
+    (DIET allows arbitrary depth; the paper's deployment is MA -> 6 LA ->
+    SeDs).  The LA concatenates child estimate lists — ranking happens once,
+    at the MA, where the scheduling context lives.
+    """
+
+    def __init__(self, fabric: TransportFabric, host: Host, name: str,
+                 parent: Optional[str] = None,
+                 params: Optional[AgentParams] = None):
+        self.fabric = fabric
+        self.engine: Engine = fabric.engine
+        self.host = host
+        self.name = name
+        self.parent = parent
+        self.params = params or AgentParams()
+        self.children: List[str] = []
+        self.endpoint: Endpoint = fabric.endpoint(name, host.name)
+        self.endpoint.on("estimate", self._handle_estimate)
+        #: Monitoring counters ("the information stored on an agent is the
+        #: list of requests, the number of servers that can solve a given
+        #: problem...", §2.1).
+        self.request_count = 0
+
+    def add_child(self, endpoint_name: str) -> None:
+        if endpoint_name in self.children:
+            raise ValueError(f"child {endpoint_name!r} already attached to {self.name!r}")
+        self.children.append(endpoint_name)
+
+    def launch(self) -> None:
+        self.endpoint.start()
+
+    # -- estimate fan-out ----------------------------------------------------------
+
+    def _child_estimate(self, child: str, req: EstimateRequest
+                        ) -> Generator[Event, Any, List[EstimationVector]]:
+        try:
+            result = yield from self.endpoint.rpc(child, "estimate", req)
+        except Exception:
+            # A dead or misbehaving child prunes its subtree from the
+            # candidate set; it must not fail the whole request.
+            return []
+        return list(result) if result else []
+
+    def _gather(self, req: EstimateRequest) -> Generator[Event, Any, List[EstimationVector]]:
+        self.request_count += 1
+        yield self.engine.timeout(self.params.processing_time)
+        if not self.children:
+            return []
+        procs = [self.engine.process(self._child_estimate(c, req),
+                                     name=f"{self.name}->{c}")
+                 for c in self.children]
+        deadline = self.engine.timeout(self.params.child_timeout)
+        done = yield self.engine.any_of([self.engine.all_of(procs), deadline])
+        ests: List[EstimationVector] = []
+        for proc in procs:
+            if proc.triggered and proc.ok:
+                ests.extend(proc.value)
+            elif proc.triggered:
+                pass  # child failed: skip its subtree
+            else:
+                self.fabric.engine.defuse(proc)
+        del done
+        return ests
+
+    def _aggregate(self, ests: List[EstimationVector]) -> List[EstimationVector]:
+        """LA-level sort + optional truncation before forwarding upward.
+
+        Stateless ordering only (queue length, then speed): the stateful
+        ranking belongs to the MA where the scheduling context lives.
+        """
+        if self.params.aggregate_top_k is None or not ests:
+            return ests
+        from .scheduling import EST_NBJOBS, EST_SPEED
+
+        ranked = sorted(ests, key=lambda e: (e.get(EST_NBJOBS, 0.0),
+                                             -e.get(EST_SPEED, 0.0),
+                                             e.sed_name))
+        return ranked[:self.params.aggregate_top_k]
+
+    def _handle_estimate(self, msg) -> Generator[Event, Any, tuple]:
+        req: EstimateRequest = msg.payload
+        ests = self._aggregate((yield from self._gather(req)))
+        return (ests, 128 + 384 * len(ests))
+
+
+class MasterAgent(LocalAgent):
+    """The root of the hierarchy: clients submit here.
+
+    Holds the scheduler policy + context and answers ``submit`` requests
+    with the chosen SeD's endpoint name.
+    """
+
+    def __init__(self, fabric: TransportFabric, host: Host, name: str = "MA",
+                 policy: Optional[SchedulerPolicy] = None,
+                 params: Optional[AgentParams] = None,
+                 tracer: Optional[Tracer] = None,
+                 log_central: Optional[str] = None):
+        super().__init__(fabric, host, name, parent=None, params=params)
+        self.log_central = log_central
+        self.policy = policy or DefaultPolicy()
+        self.ctx = SchedulingContext()
+        self.tracer = tracer or Tracer()
+        self.endpoint.on("submit", self._handle_submit)
+        self.endpoint.on("job_done", self._handle_job_done)
+
+    def _handle_submit(self, msg) -> Generator[Event, Any, tuple]:
+        sub: SubmitRequest = msg.payload
+        req = EstimateRequest(sub.request_id, sub.service_desc,
+                              sub.client_host, sub.request_nbytes)
+        candidates = yield from self._gather(req)
+        if not candidates:
+            raise ServerNotFoundError(
+                f"no SeD can solve {sub.service_desc.path!r}")
+        self.ctx.now = self.engine.now
+        self.ctx.service = sub.service_desc.path
+        self.ctx.resident_bytes = sub.resident_bytes
+        chosen = self.policy.choose(candidates, self.ctx)
+        assert chosen is not None
+        self.ctx.note_dispatch(chosen.sed_name)
+        self.tracer.log(self.engine.now, "scheduled",
+                        request_id=sub.request_id, sed=chosen.sed_name,
+                        n_candidates=len(candidates))
+        post_event(self.endpoint, self.log_central, "schedule",
+                   request_id=sub.request_id, sed=chosen.sed_name,
+                   service=sub.service_desc.path)
+        return ((chosen.sed_name, chosen), 512)
+
+    def _handle_job_done(self, msg) -> Generator[Event, Any, None]:
+        info = msg.payload
+        self.ctx.note_completion(info["sed"], info["duration"],
+                                 service=info.get("service", ""))
+        self.tracer.log(self.engine.now, "job-done", **info)
+        return
+        yield  # pragma: no cover - make this a generator function

@@ -1,0 +1,255 @@
+"""The DIET client: session management, synchronous and asynchronous calls.
+
+§4.3 of the paper: "a client is an application which uses DIET to request a
+service.  The goal of the client is to connect to a Master Agent in order
+to dispose of a SED which will be able to solve the problem.  Then the
+client sends input data to the chosen SED and, after the end of
+computation, retrieve output data from the SED."
+
+The client API is deliberately close to the C one: ``initialize`` /
+``finalize`` bracket a session; a *function handle* binds a service name
+(and, after the call, the server that solved it); ``call`` is synchronous
+(within a simulation process), ``call_async`` returns a request handle that
+can be probed and waited on — the paper's campaign submits its 100
+sub-simulations this way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from ..sim.engine import Engine, Event, Process
+from ..sim.network import Host
+from .exceptions import (
+    InvalidHandleError,
+    InvalidSessionError,
+    NotCompletedError,
+    NotInitializedError,
+)
+from .profile import Profile
+from .requests import SolveReply, SolveRequest, SubmitRequest, new_request_id
+from .statistics import Tracer
+from .transport import Endpoint, TransportFabric
+
+__all__ = ["FunctionHandle", "AsyncRequest", "DietClient"]
+
+
+@dataclass
+class FunctionHandle:
+    """Associates a service name with the server that (last) solved it."""
+
+    service_name: str
+    server: Optional[str] = None
+    bound: bool = True
+
+    def __post_init__(self):
+        if not self.service_name:
+            raise InvalidHandleError("empty service name")
+
+
+@dataclass
+class AsyncRequest:
+    """Handle on an in-flight asynchronous call (grpc_call_async)."""
+
+    request_id: int
+    profile: Profile
+    process: Process
+    _client: "DietClient" = field(repr=False, default=None)
+
+    @property
+    def done(self) -> bool:
+        return self.process.triggered
+
+    def status(self) -> int:
+        """GridRPC probe-style status; raises if not finished."""
+        if not self.done:
+            raise NotCompletedError(f"request {self.request_id} still running")
+        if not self.process.ok:
+            raise self.process.value
+        return self.process.value
+
+    def wait(self) -> Generator[Event, Any, int]:
+        """Process helper: suspend until completion (grpc_wait)."""
+        result = yield self.process
+        return result
+
+    def cancel(self) -> bool:
+        """grpc_cancel: abort the client side of an in-flight call.
+
+        Returns True if the request was still running (and is now
+        cancelled), False if it had already completed.  The SeD is not
+        preempted — like GridRPC, cancellation abandons the session; a job
+        already solving runs to completion server-side.
+        """
+        if self.done:
+            return False
+        self.process.interrupt("cancelled")
+        return True
+
+
+class DietClient:
+    """A DIET client application bound to one simulated host."""
+
+    def __init__(self, fabric: TransportFabric, host: Host,
+                 name: str = "client", tracer: Optional[Tracer] = None):
+        self.fabric = fabric
+        self.engine: Engine = fabric.engine
+        self.host = host
+        self.name = name
+        self.tracer = tracer or Tracer()
+        self.endpoint: Endpoint = fabric.endpoint(name, host.name)
+        self.ma_name: Optional[str] = None
+        self._initialized = False
+        self._session_ids = itertools.count(1)
+        self._requests: Dict[int, AsyncRequest] = {}
+
+    # -- session -------------------------------------------------------------------
+
+    def initialize(self, config: Dict[str, Any]) -> None:
+        """diet_initialize(configuration_file): binds to the Master Agent.
+
+        ``config`` plays the role of the parsed configuration file; the only
+        mandatory key is ``"MA_name"``.
+        """
+        ma = config.get("MA_name")
+        if not ma:
+            raise NotInitializedError("configuration lacks 'MA_name'")
+        # Resolving validates the MA actually exists (name-service lookup).
+        self.fabric.resolve(ma)
+        self.ma_name = ma
+        self._initialized = True
+        self.endpoint.start()
+
+    def finalize(self) -> None:
+        """diet_finalize(): frees session state.
+
+        Per §4.3.1 this does *not* free memory of INOUT/OUT arguments
+        already brought back to the client — profiles stay usable.
+        """
+        self._check_session()
+        self._requests.clear()
+        self._initialized = False
+
+    def _check_session(self) -> None:
+        if not self._initialized:
+            raise NotInitializedError("diet_initialize() has not been called")
+
+    def function_handle(self, service_name: str) -> FunctionHandle:
+        """grpc_function_handle_default(service_name)."""
+        self._check_session()
+        return FunctionHandle(service_name)
+
+    # -- calls ----------------------------------------------------------------------
+
+    def call(self, profile: Profile,
+             handle: Optional[FunctionHandle] = None
+             ) -> Generator[Event, Any, int]:
+        """diet_call(): synchronous solve.  Process helper.
+
+        Returns the service's integer status; OUT/INOUT values are written
+        back into ``profile`` (freshly allocated on the client side, as the
+        C API does for OUT arguments).
+        """
+        self._check_session()
+        profile.validate_for_submit()
+        request_id = new_request_id()
+        trace = self.tracer.trace(request_id, profile.path)
+        trace.submitted_at = self.engine.now
+
+        # Data Location Manager view: persistent inputs already on SeDs.
+        from .data import DataHandle
+
+        resident: Dict[str, int] = {}
+        for arg in profile.arguments:
+            if isinstance(arg.value, DataHandle):
+                resident[arg.value.sed_name] = (
+                    resident.get(arg.value.sed_name, 0) + arg.value.nbytes)
+
+        sub = SubmitRequest(request_id=request_id,
+                            service_desc=profile.desc,
+                            client_host=self.host.name,
+                            client_endpoint=self.endpoint.name,
+                            request_nbytes=profile.request_nbytes(),
+                            resident_bytes=resident)
+        sed_name, _est = yield from self.endpoint.rpc(self.ma_name, "submit", sub)
+        trace.found_at = self.engine.now
+        trace.sed_name = sed_name
+        if handle is not None:
+            handle.server = sed_name
+
+        trace.data_sent_at = self.engine.now
+        solve_req = SolveRequest(request_id=request_id, profile=profile,
+                                 client_endpoint=self.endpoint.name)
+        reply: SolveReply = yield from self.endpoint.rpc(
+            sed_name, "solve", solve_req, nbytes=profile.request_nbytes())
+        trace.completed_at = self.engine.now
+        trace.status = reply.status
+        # The tracer is shared with the SeD in-process; when it is not (e.g.
+        # separate tracers in tests) the reply timestamps fill the gaps.
+        if trace.solve_started_at is None:
+            trace.solve_started_at = reply.solve_started_at
+        if trace.solve_ended_at is None:
+            trace.solve_ended_at = reply.solve_ended_at
+
+        for index, value in reply.out_values.items():
+            profile.parameter(index).set(value)
+        return reply.status
+
+    #: Status reported for a cancelled asynchronous call.
+    STATUS_CANCELLED = -1
+
+    def _cancellable_call(self, profile: Profile,
+                          handle: Optional[FunctionHandle]
+                          ) -> Generator[Event, Any, int]:
+        from ..sim.engine import Interrupt
+
+        try:
+            status = yield from self.call(profile, handle)
+        except Interrupt:
+            return self.STATUS_CANCELLED
+        return status
+
+    def call_async(self, profile: Profile,
+                   handle: Optional[FunctionHandle] = None) -> AsyncRequest:
+        """diet_call_async(): returns immediately with a request handle."""
+        self._check_session()
+        proc = self.engine.process(self._cancellable_call(profile, handle),
+                                   name=f"call:{profile.path}")
+        req = AsyncRequest(request_id=0, profile=profile, process=proc,
+                           _client=self)
+        # The request id is only known once the call process starts; expose
+        # the process itself for waiting, and a session id for bookkeeping.
+        req.request_id = next(self._session_ids)
+        self._requests[req.request_id] = req
+        return req
+
+    def probe(self, session_id: int) -> int:
+        """grpc_probe(): 0 if complete, raises NotCompletedError otherwise."""
+        req = self._requests.get(session_id)
+        if req is None:
+            raise InvalidSessionError(f"unknown session {session_id}")
+        if not req.done:
+            raise NotCompletedError(f"session {session_id} still running")
+        return 0
+
+    def wait_all(self) -> Generator[Event, Any, Dict[int, int]]:
+        """grpc_wait_all(): suspend until every async request completes."""
+        self._check_session()
+        procs = [r.process for r in self._requests.values()]
+        if procs:
+            yield self.engine.all_of(procs)
+        return {sid: r.process.value for sid, r in self._requests.items()}
+
+    def wait_any(self) -> Generator[Event, Any, int]:
+        """grpc_wait_any(): suspend until one request completes; its id."""
+        self._check_session()
+        pending = [r for r in self._requests.values() if not r.done]
+        if not pending:
+            raise InvalidSessionError("no pending requests")
+        yield self.engine.any_of([r.process for r in pending])
+        for r in pending:
+            if r.done:
+                return r.request_id
+        raise AssertionError("any_of fired with no completed request")

@@ -1,0 +1,124 @@
+"""GoDIET-like deployment: instantiate a DIET hierarchy on a platform.
+
+§5.1's deployment — 1 MA (+ client) on a Lyon node, one LA per cluster, two
+SeDs per cluster (one for sagittaire) — becomes :func:`deploy_paper_hierarchy`.
+The generic :class:`Deployment` builder supports arbitrary hierarchies for
+tests and examples, enforcing the §4.1 constraint that a SeD must mount its
+cluster's NFS volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..platform.grid5000 import Grid5000Platform
+from ..sim.engine import Engine
+from .agent import AgentParams, LocalAgent, MasterAgent
+from .client import DietClient
+from .exceptions import DietError
+from .scheduling import SchedulerPolicy
+from .sed import SeD, SeDParams
+from .statistics import Tracer
+from .transport import TransportFabric, TransportParams
+
+__all__ = ["Deployment", "deploy_paper_hierarchy"]
+
+
+@dataclass
+class Deployment:
+    """A built middleware stack: fabric + agents + SeDs + client + tracer."""
+
+    engine: Engine
+    fabric: TransportFabric
+    tracer: Tracer
+    ma: MasterAgent
+    local_agents: List[LocalAgent] = field(default_factory=list)
+    seds: List[SeD] = field(default_factory=list)
+    client: Optional[DietClient] = None
+    platform: Optional[Grid5000Platform] = None
+    log_central: Optional["LogCentral"] = None
+
+    def sed_by_name(self, name: str) -> SeD:
+        for sed in self.seds:
+            if sed.name == name:
+                return sed
+        raise DietError(f"no SeD named {name!r} in this deployment")
+
+    def launch_all(self) -> None:
+        """Start every agent and SeD's serving loop (GoDIET 'launch')."""
+        if self.log_central is not None:
+            self.log_central.launch()
+        self.ma.launch()
+        for la in self.local_agents:
+            la.launch()
+        for sed in self.seds:
+            sed.launch()
+
+    @property
+    def sed_names(self) -> List[str]:
+        return [s.name for s in self.seds]
+
+    def cluster_of_sed(self, sed_name: str) -> str:
+        sed = self.sed_by_name(sed_name)
+        return str(sed.host.properties.get("cluster", sed.host.name))
+
+
+def deploy_paper_hierarchy(platform: Grid5000Platform,
+                           policy: Optional[SchedulerPolicy] = None,
+                           transport_params: Optional[TransportParams] = None,
+                           sed_params: Optional[SeDParams] = None,
+                           agent_params: Optional[AgentParams] = None,
+                           with_client: bool = True,
+                           with_log_central: bool = False) -> Deployment:
+    """Deploy the exact §5.1 hierarchy on a built Grid'5000 platform.
+
+    * MA on the Lyon service node (with the client and, when
+      ``with_log_central``, the monitoring collector — "along with omniORB,
+      the monitoring tools, and the client", §5.1);
+    * one LA per cluster, on the cluster frontend;
+    * one SeD per reserved 16-node block (11 in the paper layout), each
+      mounting its cluster's NFS volume.
+    """
+    engine = platform.engine
+    fabric = TransportFabric(engine, platform.network, transport_params)
+    tracer = Tracer()
+
+    log_central = None
+    log_name: Optional[str] = None
+    if with_log_central:
+        from .logservice import LogCentral
+
+        log_central = LogCentral(fabric, platform.ma_host)
+        log_name = log_central.name
+
+    ma = MasterAgent(fabric, platform.ma_host, name="MA", policy=policy,
+                     params=agent_params, tracer=tracer,
+                     log_central=log_name)
+
+    local_agents: List[LocalAgent] = []
+    seds: List[SeD] = []
+    for full_name, cluster in platform.clusters.items():
+        la = LocalAgent(fabric, cluster.frontend, name=f"LA-{full_name}",
+                        parent=ma.name, params=agent_params)
+        ma.add_child(la.name)
+        local_agents.append(la)
+        for host in cluster.sed_hosts:
+            if not cluster.nfs.is_mounted_on(host.name):
+                raise DietError(
+                    f"SeD host {host.name} does not mount {cluster.nfs.name} "
+                    f"(§4.1 requires an NFS working directory)")
+            sed = SeD(fabric, host, name=f"SeD-{host.name}", ma_name=ma.name,
+                      params=sed_params, tracer=tracer, nfs=cluster.nfs,
+                      log_central=log_name)
+            la.add_child(sed.name)
+            seds.append(sed)
+
+    client = None
+    if with_client:
+        client = DietClient(fabric, platform.client_host, name="client",
+                            tracer=tracer)
+
+    return Deployment(engine=engine, fabric=fabric, tracer=tracer, ma=ma,
+                      local_agents=local_agents, seds=seds, client=client,
+                      platform=platform, log_central=log_central)

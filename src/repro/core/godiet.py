@@ -1,0 +1,208 @@
+"""GoDIET-style XML deployment descriptions.
+
+DIET deployments on Grid'5000 were driven by GoDIET, which reads an XML
+description of the agent hierarchy and launches the components.  This
+module implements the equivalent: parse an XML hierarchy description,
+validate it against a built platform, and instantiate the MA/LA/SeD tree.
+
+The dialect (close to GoDIET's, trimmed to what the reproduction needs)::
+
+    <diet_configuration>
+      <master_agent name="MA" host="lyon-ma">
+        <local_agent name="LA-lyon-capricorne" host="lyon-capricorne-frontend">
+          <sed name="SeD-lyon-capricorne-sed0" host="lyon-capricorne-sed0"/>
+          ...
+        </local_agent>
+        ...
+      </master_agent>
+    </diet_configuration>
+
+Arbitrary nesting of ``local_agent`` elements is allowed (DIET hierarchies
+are trees of any depth).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..platform.grid5000 import Grid5000Platform
+from .agent import AgentParams, LocalAgent, MasterAgent
+from .client import DietClient
+from .deployment import Deployment
+from .exceptions import DietError
+from .scheduling import SchedulerPolicy
+from .sed import SeD, SeDParams
+from .statistics import Tracer
+from .transport import TransportFabric, TransportParams
+
+__all__ = ["SedSpec", "AgentSpec", "HierarchySpec", "parse_godiet_xml",
+           "render_godiet_xml", "deploy_from_spec", "paper_hierarchy_spec"]
+
+
+@dataclass
+class SedSpec:
+    name: str
+    host: str
+
+
+@dataclass
+class AgentSpec:
+    name: str
+    host: str
+    children: List["AgentSpec"] = field(default_factory=list)
+    seds: List[SedSpec] = field(default_factory=list)
+
+    def all_seds(self) -> List[SedSpec]:
+        out = list(self.seds)
+        for child in self.children:
+            out.extend(child.all_seds())
+        return out
+
+    def all_agents(self) -> List["AgentSpec"]:
+        out = [self]
+        for child in self.children:
+            out.extend(child.all_agents())
+        return out
+
+
+@dataclass
+class HierarchySpec:
+    master: AgentSpec
+    client_host: Optional[str] = None
+
+    def validate(self) -> None:
+        names = [a.name for a in self.master.all_agents()]
+        names += [s.name for s in self.master.all_seds()]
+        if len(set(names)) != len(names):
+            raise DietError("duplicate component names in hierarchy spec")
+        if not self.master.all_seds():
+            raise DietError("hierarchy contains no SeD")
+
+
+def _parse_agent(element: ET.Element) -> AgentSpec:
+    name = element.get("name")
+    host = element.get("host")
+    if not name or not host:
+        raise DietError(f"<{element.tag}> needs name= and host= attributes")
+    spec = AgentSpec(name=name, host=host)
+    for child in element:
+        if child.tag == "local_agent":
+            spec.children.append(_parse_agent(child))
+        elif child.tag == "sed":
+            sed_name = child.get("name")
+            sed_host = child.get("host")
+            if not sed_name or not sed_host:
+                raise DietError("<sed> needs name= and host= attributes")
+            spec.seds.append(SedSpec(name=sed_name, host=sed_host))
+        else:
+            raise DietError(f"unexpected element <{child.tag}>")
+    return spec
+
+
+def parse_godiet_xml(text: str) -> HierarchySpec:
+    """Parse a GoDIET-style XML document into a :class:`HierarchySpec`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DietError(f"malformed GoDIET XML: {exc}") from None
+    if root.tag != "diet_configuration":
+        raise DietError("root element must be <diet_configuration>")
+    masters = [el for el in root if el.tag == "master_agent"]
+    if len(masters) != 1:
+        raise DietError("exactly one <master_agent> is required")
+    client_el = root.find("client")
+    client_host = client_el.get("host") if client_el is not None else None
+    spec = HierarchySpec(master=_parse_agent(masters[0]),
+                         client_host=client_host)
+    spec.validate()
+    return spec
+
+
+def _render_agent(spec: AgentSpec, indent: int) -> List[str]:
+    pad = "  " * indent
+    tag = "master_agent" if indent == 1 else "local_agent"
+    lines = [f'{pad}<{tag} name="{spec.name}" host="{spec.host}">']
+    for sed in spec.seds:
+        lines.append(f'{pad}  <sed name="{sed.name}" host="{sed.host}"/>')
+    for child in spec.children:
+        lines.extend(_render_agent(child, indent + 1))
+    lines.append(f"{pad}</{tag}>")
+    return lines
+
+
+def render_godiet_xml(spec: HierarchySpec) -> str:
+    """Emit the XML for a spec (round-trips through parse_godiet_xml)."""
+    lines = ["<diet_configuration>"]
+    if spec.client_host:
+        lines.append(f'  <client host="{spec.client_host}"/>')
+    lines.extend(_render_agent(spec.master, 1))
+    lines.append("</diet_configuration>")
+    return "\n".join(lines)
+
+
+def paper_hierarchy_spec(platform: Grid5000Platform) -> HierarchySpec:
+    """The §5.1 deployment as a spec (what GoDIET would have been fed)."""
+    master = AgentSpec(name="MA", host=platform.ma_host.name)
+    for full_name, cluster in platform.clusters.items():
+        la = AgentSpec(name=f"LA-{full_name}", host=cluster.frontend.name)
+        for host in cluster.sed_hosts:
+            la.seds.append(SedSpec(name=f"SeD-{host.name}", host=host.name))
+        master.children.append(la)
+    return HierarchySpec(master=master,
+                         client_host=platform.client_host.name)
+
+
+def deploy_from_spec(platform: Grid5000Platform, spec: HierarchySpec,
+                     policy: Optional[SchedulerPolicy] = None,
+                     transport_params: Optional[TransportParams] = None,
+                     sed_params: Optional[SeDParams] = None,
+                     agent_params: Optional[AgentParams] = None) -> Deployment:
+    """Instantiate the described hierarchy on a built platform.
+
+    Host names are validated against the platform's network; SeD hosts must
+    mount their cluster's NFS volume (§4.1) when they belong to a cluster.
+    """
+    spec.validate()
+    engine = platform.engine
+    fabric = TransportFabric(engine, platform.network, transport_params)
+    tracer = Tracer()
+
+    ma_host = platform.network.host(spec.master.host)
+    ma = MasterAgent(fabric, ma_host, name=spec.master.name, policy=policy,
+                     params=agent_params, tracer=tracer)
+
+    local_agents: List[LocalAgent] = []
+    seds: List[SeD] = []
+
+    def build(agent_spec: AgentSpec, parent) -> None:
+        for child_spec in agent_spec.children:
+            host = platform.network.host(child_spec.host)
+            la = LocalAgent(fabric, host, name=child_spec.name,
+                            parent=parent.name, params=agent_params)
+            parent.add_child(la.name)
+            local_agents.append(la)
+            build(child_spec, la)
+        for sed_spec in agent_spec.seds:
+            host = platform.network.host(sed_spec.host)
+            cluster = platform.cluster_of_host(host.name)
+            nfs = cluster.nfs if cluster is not None else None
+            if nfs is not None and not nfs.is_mounted_on(host.name):
+                raise DietError(
+                    f"SeD host {host.name} does not mount {nfs.name}")
+            sed = SeD(fabric, host, name=sed_spec.name, ma_name=ma.name,
+                      params=sed_params, tracer=tracer, nfs=nfs)
+            parent.add_child(sed.name)
+            seds.append(sed)
+
+    build(spec.master, ma)
+
+    client = None
+    if spec.client_host:
+        client_host = platform.network.host(spec.client_host)
+        client = DietClient(fabric, client_host, name="client", tracer=tracer)
+
+    return Deployment(engine=engine, fabric=fabric, tracer=tracer, ma=ma,
+                      local_agents=local_agents, seds=seds, client=client,
+                      platform=platform)

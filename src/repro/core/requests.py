@@ -1,0 +1,66 @@
+"""Request descriptors exchanged between client, agents and SeDs."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .profile import Profile, ProfileDesc
+
+__all__ = ["EstimateRequest", "SubmitRequest", "SolveRequest", "SolveReply",
+           "new_request_id"]
+
+_request_ids = itertools.count(1)
+
+
+def new_request_id() -> int:
+    """Globally unique (per-process) request identifier."""
+    return next(_request_ids)
+
+
+@dataclass
+class EstimateRequest:
+    """Broadcast down the agent hierarchy to collect estimation vectors."""
+
+    request_id: int
+    service_desc: ProfileDesc
+    client_host: str
+    request_nbytes: int = 0
+
+
+@dataclass
+class SubmitRequest:
+    """Client -> Master Agent: find me a SeD for this profile."""
+
+    request_id: int
+    service_desc: ProfileDesc
+    client_host: str
+    client_endpoint: str
+    request_nbytes: int = 0
+    #: Bytes of this request's persistent input data already resident per
+    #: SeD (from DataHandle arguments) — the Data Location Manager's view,
+    #: consumed by locality-aware schedulers.
+    resident_bytes: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SolveRequest:
+    """Client -> chosen SeD: here is the data, run the service."""
+
+    request_id: int
+    profile: Profile
+    client_endpoint: str
+
+
+@dataclass
+class SolveReply:
+    """SeD -> client: status + OUT/INOUT values + timing metadata."""
+
+    request_id: int
+    status: int
+    out_values: Dict[int, object] = field(default_factory=dict)
+    solve_started_at: float = 0.0
+    solve_ended_at: float = 0.0
+    sed_name: str = ""
+    error: Optional[str] = None

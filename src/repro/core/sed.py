@@ -1,0 +1,265 @@
+"""Server Daemon (SeD): service registration, estimation, solving.
+
+§4.2 of the paper: a SeD "encapsulates a computational server", stores the
+list of problems it can solve, answers monitoring queries from its parent
+Local Agent and forks the solving function upon an application client
+request.  The RAMSES deployment (§4.1) has each SeD manage a whole cluster
+slice: one simulation at a time per SeD (``max_concurrent_solves=1``), the
+property that produces the queueing visible in Figure 5's latency curve.
+
+Solve functions are generator functions ``solve(profile, ctx)`` so they can
+charge simulated time (``yield ctx.host.execute(work)``), touch the
+cluster's NFS volume, and run the real Python RAMSES pipeline in REAL mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..sim.engine import Engine, Event
+from ..sim.network import Host
+from ..sim.resources import Resource
+from ..platform.nfs import NfsVolume
+from .cori import CoRI
+from .data import DataHandle, Direction
+from .exceptions import DataError, DietError
+from .logservice import post_event
+from .profile import Profile, ProfileDesc, ServiceTable, SolveFunc
+from .requests import EstimateRequest, SolveReply, SolveRequest
+from .statistics import Tracer
+from .transport import Endpoint, TransportFabric
+
+__all__ = ["SeDParams", "SolveContext", "SeD"]
+
+
+@dataclass(frozen=True)
+class SeDParams:
+    """Timing knobs of one SeD."""
+
+    #: Time to initiate a service once a job slot is free (fork of the solve
+    #: function + MPI environment setup).  Paper §5.2: 20.8 ms average.
+    service_init_time: float = 20.8e-3
+    #: Simultaneous solves ("each server cannot compute more than one
+    #: simulation at the same time", §5.1).
+    max_concurrent_solves: int = 1
+    #: CoRI probe duration, part of the finding time.
+    estimate_collect_time: float = 11.3e-3
+
+
+@dataclass
+class SolveContext:
+    """Everything a solve function may need."""
+
+    engine: Engine
+    host: Host
+    sed: "SeD"
+    nfs: Optional[NfsVolume] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def execute(self, work: float) -> Generator[Event, Any, None]:
+        """Charge ``work`` normalized operations on the SeD's host."""
+        yield from self.host.execute(work)
+
+
+@dataclass
+class _Registration:
+    desc: ProfileDesc
+    solve_func: SolveFunc
+    #: Optional performance model: (profile_desc_or_profile) -> predicted
+    #: seconds.  Used by plug-in schedulers; the default deployment has none
+    #: (which is exactly why the paper's schedule is suboptimal).
+    predictor: Optional[Callable[..., Optional[float]]] = None
+
+
+class SeD:
+    """A DIET Server Daemon bound to one simulated host."""
+
+    def __init__(self, fabric: TransportFabric, host: Host, name: str,
+                 ma_name: Optional[str] = None,
+                 params: Optional[SeDParams] = None,
+                 tracer: Optional[Tracer] = None,
+                 nfs: Optional[NfsVolume] = None,
+                 table_size: int = 64,
+                 log_central: Optional[str] = None):
+        self.fabric = fabric
+        self.engine = fabric.engine
+        self.host = host
+        self.name = name
+        self.ma_name = ma_name
+        self.params = params or SeDParams()
+        self.tracer = tracer or Tracer()
+        self.log_central = log_central
+        self.nfs = nfs
+        self.table = ServiceTable(max_size=table_size)
+        self._registrations: Dict[str, _Registration] = {}
+        self.job_slots = Resource(self.engine, capacity=self.params.max_concurrent_solves)
+        self.cori = CoRI(self.engine, host, fabric.network,
+                         collect_time=self.params.estimate_collect_time)
+        self.endpoint: Endpoint = fabric.endpoint(name, host.name)
+        self.endpoint.on("estimate", self._handle_estimate)
+        self.endpoint.on("solve", self._handle_solve)
+        self.endpoint.on("fetch_data", self._handle_fetch_data)
+        #: DTM-style persistent data: data_id -> (value, nbytes).
+        self.data_store: Dict[str, tuple] = {}
+        self.solve_count = 0
+        self.solve_durations: List[float] = []
+        self._launched = False
+
+    # -- service registration (diet_service_table_add) ----------------------------
+
+    def add_service(self, desc: ProfileDesc, solve_func: SolveFunc,
+                    convertor: Any = None,
+                    predictor: Optional[Callable] = None) -> None:
+        self.table.add(desc, convertor, solve_func)
+        self._registrations[desc.path] = _Registration(desc, solve_func, predictor)
+
+    def launch(self) -> None:
+        """diet_SeD(): start serving.  (Unlike the C API this returns — the
+        serving loop lives as a simulation process.)"""
+        if not self.table.paths():
+            raise DietError("refusing to launch a SeD with an empty service table")
+        self.endpoint.start()
+        self._launched = True
+
+    @property
+    def n_jobs(self) -> int:
+        """Running + queued solves (the EST_NBJOBS probe)."""
+        return self.job_slots.count + self.job_slots.queue_length
+
+    # -- estimation ---------------------------------------------------------------
+
+    def _handle_estimate(self, msg) -> Generator[Event, Any, tuple]:
+        req: EstimateRequest = msg.payload
+        if not self.table.can_solve(req.service_desc):
+            return ([], 64)
+        reg = self._registrations[req.service_desc.path]
+        predicted = reg.predictor(req.service_desc) if reg.predictor else None
+        est = yield from self.cori.collect(
+            self.name, self.n_jobs,
+            client_host=req.client_host,
+            request_nbytes=req.request_nbytes,
+            predicted_tcomp=predicted)
+        return ([est], 512)
+
+    # -- persistent data (DTM) ---------------------------------------------------------
+
+    def _handle_fetch_data(self, msg) -> Generator[Event, Any, tuple]:
+        """Serve a persisted datum to a peer SeD (or back to a client)."""
+        data_id = msg.payload
+        entry = self.data_store.get(data_id)
+        if entry is None:
+            raise DataError(f"no persistent data {data_id!r} on {self.name}")
+        value, nbytes = entry
+        yield self.engine.timeout(0.0)
+        return (value, nbytes)
+
+    def _resolve_handles(self, profile: Profile) -> Generator[Event, Any, None]:
+        """Materialize DataHandle-valued IN/INOUT arguments ("Data
+        downloading" in the paper's solve skeleton).
+
+        Local handles cost nothing; remote ones are fetched SeD-to-SeD at
+        the data's true size — the point of DIET_PERSISTENT: the bytes never
+        round-trip through the client.
+        """
+        for arg in profile.arguments:
+            if (arg.direction is Direction.OUT
+                    or not isinstance(arg.value, DataHandle)):
+                continue
+            handle = arg.value
+            if handle.sed_name == self.name:
+                entry = self.data_store.get(handle.data_id)
+                if entry is None:
+                    raise DataError(f"stale handle {handle.data_id!r}")
+                arg.set(entry[0])
+            else:
+                value = yield from self.endpoint.rpc(
+                    handle.sed_name, "fetch_data", handle.data_id)
+                arg.set(value)
+
+    def _persist_outputs(self, req: SolveRequest, profile: Profile,
+                         out_values: Dict[int, Any]) -> None:
+        """Keep server copies per the argument persistence modes; replace
+        non-returning values with handles in the reply."""
+        for i, arg in enumerate(profile.arguments):
+            if arg.direction is Direction.IN or not arg.is_set:
+                continue
+            mode = arg.desc.persistence
+            if not mode.keeps_server_copy:
+                continue
+            data_id = f"{self.name}/req{req.request_id}/arg{i}"
+            self.data_store[data_id] = (arg.value, arg.nbytes)
+            if not mode.returns_to_client:
+                out_values[i] = DataHandle(data_id=data_id,
+                                           sed_name=self.name,
+                                           nbytes=arg.nbytes)
+
+    # -- solving --------------------------------------------------------------------
+
+    def _handle_solve(self, msg) -> Generator[Event, Any, tuple]:
+        req: SolveRequest = msg.payload
+        profile: Profile = req.profile
+        trace = self.tracer.trace(req.request_id, profile.path)
+        self.tracer.log(self.engine.now, "data-arrived",
+                        sed=self.name, request_id=req.request_id)
+        try:
+            yield from self._resolve_handles(profile)
+        except DataError as exc:
+            # a stale/unfetchable handle is a per-request data failure, not
+            # a middleware crash: report it through the status channel
+            return (SolveReply(request_id=req.request_id, status=1,
+                               sed_name=self.name,
+                               error=f"DataError: {exc}"), 256)
+
+        slot = yield from self.job_slots.acquire()
+        try:
+            # Service initiation: fork of the solve function, MPI env setup.
+            yield self.engine.timeout(self.params.service_init_time)
+            started = self.engine.now
+            trace.solve_started_at = started
+            post_event(self.endpoint, self.log_central, "solve_start",
+                       request_id=req.request_id, service=profile.path)
+            desc, solve_func = self.table.lookup(profile.path)
+            ctx = SolveContext(self.engine, self.host, self, self.nfs)
+            try:
+                status = yield from solve_func(profile, ctx)
+                if status is None:
+                    status = 0
+                error = None
+            except DietError:
+                raise
+            except Exception as exc:
+                # An application failure is a *service* result (the paper's
+                # profile carries an explicit error-control integer), not a
+                # middleware failure.
+                status, error = 1, f"{type(exc).__name__}: {exc}"
+            ended = self.engine.now
+            trace.solve_ended_at = ended
+        finally:
+            self.job_slots.release(slot)
+
+        post_event(self.endpoint, self.log_central, "solve_end",
+                   request_id=req.request_id, service=profile.path,
+                   duration=ended - started, status=status)
+        duration = ended - started
+        self.solve_count += 1
+        self.solve_durations.append(duration)
+        self.cori.note_solve_end()
+
+        if self.ma_name is not None:
+            # Lightweight completion feedback for history-based plug-in
+            # schedulers (LogService carries the equivalent event in DIET).
+            yield from self.endpoint.send(
+                self.ma_name, "job_done",
+                payload={"sed": self.name, "duration": duration,
+                         "service": profile.path})
+
+        out_values = {
+            i: arg.value for i, arg in enumerate(profile.arguments)
+            if arg.direction in (Direction.OUT, Direction.INOUT) and arg.is_set
+        }
+        self._persist_outputs(req, profile, out_values)
+        reply = SolveReply(request_id=req.request_id, status=status,
+                           out_values=out_values, solve_started_at=started,
+                           solve_ended_at=ended, sed_name=self.name, error=error)
+        return (reply, max(profile.response_nbytes(), 256))

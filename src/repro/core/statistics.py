@@ -1,0 +1,173 @@
+"""LogService-like tracing: the raw material of Figures 4 and 5.
+
+DIET deployments run LogCentral to collect middleware events.  The
+:class:`Tracer` plays that role: every phase of every request is recorded
+with simulated timestamps, and accessors produce exactly the series the
+paper plots —
+
+* **finding time** per request (Figure 5): submit -> SeD chosen;
+* **latency** per request (Figure 5): SeD chosen -> solve actually starts
+  (data transfer + queue wait + service initiation);
+* the **Gantt chart** (Figure 4 left): per-SeD (start, end) solve spans;
+* per-SeD **busy time** and request counts (Figure 4 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RequestTrace", "Tracer"]
+
+
+@dataclass
+class RequestTrace:
+    """Lifecycle timestamps of one request (simulated seconds)."""
+
+    request_id: int
+    service: str
+    submitted_at: Optional[float] = None
+    found_at: Optional[float] = None
+    sed_name: Optional[str] = None
+    data_sent_at: Optional[float] = None
+    solve_started_at: Optional[float] = None
+    solve_ended_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    status: Optional[int] = None
+
+    @property
+    def finding_time(self) -> Optional[float]:
+        if self.submitted_at is None or self.found_at is None:
+            return None
+        return self.found_at - self.submitted_at
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Paper §5.2: client->SeD data send + service initiation, including
+        the wait for the SeD to become free."""
+        if self.found_at is None or self.solve_started_at is None:
+            return None
+        return self.solve_started_at - self.found_at
+
+    @property
+    def solve_duration(self) -> Optional[float]:
+        if self.solve_started_at is None or self.solve_ended_at is None:
+            return None
+        return self.solve_ended_at - self.solve_started_at
+
+    @property
+    def total_time(self) -> Optional[float]:
+        if self.submitted_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def overhead(self) -> Optional[float]:
+        """Middleware overhead: total minus pure solve and queue-wait time.
+
+        The paper counts finding time + service initiation (it excludes the
+        inter-simulation wait, which is workload, not middleware)."""
+        if self.finding_time is None or self.solve_duration is None:
+            return None
+        if self.completed_at is None or self.data_sent_at is None:
+            return None
+        return self.finding_time + (self.solve_started_at - self.data_sent_at)
+
+
+class Tracer:
+    """Collects :class:`RequestTrace` records plus free-form middleware events."""
+
+    def __init__(self):
+        self._traces: Dict[int, RequestTrace] = {}
+        self.events: List[tuple] = []
+
+    # -- recording --------------------------------------------------------------
+
+    def trace(self, request_id: int, service: str = "") -> RequestTrace:
+        rec = self._traces.get(request_id)
+        if rec is None:
+            rec = RequestTrace(request_id=request_id, service=service)
+            self._traces[request_id] = rec
+        elif service and not rec.service:
+            rec.service = service
+        return rec
+
+    def log(self, time: float, kind: str, **info) -> None:
+        self.events.append((time, kind, info))
+
+    # -- series for the figures ----------------------------------------------------
+
+    def all_traces(self, service: Optional[str] = None) -> List[RequestTrace]:
+        out = [t for t in self._traces.values()
+               if service is None or t.service == service]
+        return sorted(out, key=lambda t: (t.submitted_at if t.submitted_at is not None
+                                          else float("inf"), t.request_id))
+
+    def finding_times(self, service: Optional[str] = None) -> List[float]:
+        return [t.finding_time for t in self.all_traces(service)
+                if t.finding_time is not None]
+
+    def latencies(self, service: Optional[str] = None) -> List[float]:
+        return [t.latency for t in self.all_traces(service)
+                if t.latency is not None]
+
+    def gantt(self, service: Optional[str] = None) -> Dict[str, List[tuple]]:
+        """Per-SeD list of (start, end, request_id) solve spans, sorted."""
+        chart: Dict[str, List[tuple]] = {}
+        for t in self.all_traces(service):
+            if t.sed_name and t.solve_started_at is not None and t.solve_ended_at is not None:
+                chart.setdefault(t.sed_name, []).append(
+                    (t.solve_started_at, t.solve_ended_at, t.request_id))
+        for spans in chart.values():
+            spans.sort()
+        return chart
+
+    def busy_time_per_sed(self, service: Optional[str] = None) -> Dict[str, float]:
+        return {sed: sum(end - start for start, end, _ in spans)
+                for sed, spans in self.gantt(service).items()}
+
+    def requests_per_sed(self, service: Optional[str] = None) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for t in self.all_traces(service):
+            if t.sed_name is not None:
+                counts[t.sed_name] = counts.get(t.sed_name, 0) + 1
+        return counts
+
+    # -- export (LogCentral dumps) ---------------------------------------------------
+
+    _CSV_FIELDS = ("request_id", "service", "sed_name", "submitted_at",
+                   "found_at", "data_sent_at", "solve_started_at",
+                   "solve_ended_at", "completed_at", "status",
+                   "finding_time", "latency", "solve_duration")
+
+    def to_records(self, service: Optional[str] = None) -> List[dict]:
+        """One plain dict per request (raw timestamps + derived metrics)."""
+        out = []
+        for t in self.all_traces(service):
+            out.append({field: getattr(t, field) for field in self._CSV_FIELDS})
+        return out
+
+    def write_csv(self, path: str, service: Optional[str] = None) -> None:
+        """Dump the trace table as CSV (empty cells for missing phases)."""
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self._CSV_FIELDS)
+            writer.writeheader()
+            for rec in self.to_records(service):
+                writer.writerow({k: ("" if v is None else v)
+                                 for k, v in rec.items()})
+
+    def write_json(self, path: str, service: Optional[str] = None) -> None:
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_records(service), fh, indent=1)
+
+    def makespan(self, service: Optional[str] = None) -> Optional[float]:
+        traces = [t for t in self.all_traces(service)
+                  if t.submitted_at is not None and t.completed_at is not None]
+        if not traces:
+            return None
+        return (max(t.completed_at for t in traces)
+                - min(t.submitted_at for t in traces))

@@ -1,0 +1,228 @@
+"""CORBA-substitute message transport over the simulated network.
+
+DIET uses omniORB; GridSolve and Ninf use raw sockets (§2.1).  Here both
+reduce to the same abstraction: named :class:`Endpoint` objects living on
+simulated hosts, exchanging :class:`Message` objects whose delivery costs
+
+    marshal(client) + network(latency, bandwidth, size) + unmarshal(server)
+
+The marshalling model is calibrated to mid-2000s omniORB figures: a fixed
+per-invocation cost plus a per-byte cost, both charged as simulated time.
+An RPC is a request message carrying a reply-to token; :meth:`Endpoint.rpc`
+suspends the calling process until the reply arrives.
+
+A :class:`TransportFabric` owns the endpoint namespace — this doubles as
+the omniNames-like naming service (endpoints are resolved by string name).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..sim.engine import Engine, Event
+from ..sim.network import Network
+from ..sim.resources import Store
+from .exceptions import CommunicationError
+
+__all__ = ["TransportParams", "Message", "Endpoint", "TransportFabric"]
+
+
+@dataclass(frozen=True)
+class TransportParams:
+    """Timing model of the RPC layer.
+
+    Defaults are calibrated (see ``experiments/calibration.py``) so that the
+    full MA/LA/SeD estimate round trip over the §5.1 topology averages the
+    paper's 49.8 ms finding time.
+    """
+
+    #: CPU cost to marshal one invocation (CORBA stub + ORB dispatch), s.
+    marshal_fixed: float = 2.8e-3
+    #: Additional marshalling cost per byte of payload, s/byte.
+    marshal_per_byte: float = 1.0e-9
+    #: Server-side demultiplex + POA dispatch cost per message, s.
+    dispatch_fixed: float = 1.6e-3
+    #: Default payload size for control messages with no data, bytes.
+    control_payload: int = 256
+
+
+@dataclass
+class Message:
+    """One transported message."""
+
+    msg_id: int
+    src: str            # endpoint name
+    dst: str            # endpoint name
+    op: str             # operation name, e.g. "estimate", "solve"
+    payload: Any = None
+    nbytes: int = 0
+    reply_to: Optional[Event] = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+    @property
+    def is_request(self) -> bool:
+        return self.reply_to is not None
+
+
+class Endpoint:
+    """A named communication endpoint bound to a host.
+
+    Handlers are registered per operation name; each incoming request spawns
+    a handler *process* so a slow solve does not block the mailbox.  A
+    handler is a generator function ``handler(message) -> (value, nbytes)``;
+    its return value is shipped back as the RPC reply.
+    """
+
+    def __init__(self, fabric: "TransportFabric", name: str, host_name: str):
+        self.fabric = fabric
+        self.name = name
+        self.host_name = host_name
+        self.mailbox: Store = Store(fabric.engine)
+        self._handlers: Dict[str, Callable] = {}
+        self._serving = False
+
+    # -- handler registration --------------------------------------------------
+
+    def on(self, op: str, handler: Callable) -> None:
+        """Register a generator handler for operation ``op``."""
+        self._handlers[op] = handler
+
+    def start(self) -> None:
+        """Start the serving loop (idempotent)."""
+        if not self._serving:
+            self._serving = True
+            self.fabric.engine.process(self._serve_loop(), name=f"serve:{self.name}")
+
+    def _serve_loop(self) -> Generator[Event, Any, None]:
+        engine = self.fabric.engine
+        while True:
+            msg = yield self.mailbox.get()
+            if msg is _SHUTDOWN:
+                return
+            handler = self._handlers.get(msg.op)
+            if handler is None:
+                if msg.reply_to is not None:
+                    err = CommunicationError(
+                        f"endpoint {self.name!r} has no handler for {msg.op!r}")
+                    self.fabric._deliver_reply(msg, ("error", err), 128)
+                continue
+            engine.process(self._handle(handler, msg),
+                           name=f"{self.name}:{msg.op}#{msg.msg_id}")
+
+    def _handle(self, handler: Callable, msg: Message) -> Generator[Event, Any, None]:
+        engine = self.fabric.engine
+        # Server-side dispatch cost.
+        yield engine.timeout(self.fabric.params.dispatch_fixed)
+        try:
+            result = yield from handler(msg)
+        except Exception as exc:  # ship failures back to the caller
+            if msg.reply_to is not None:
+                self.fabric._deliver_reply(msg, ("error", exc), 128)
+                return
+            raise
+        if msg.reply_to is not None:
+            value, nbytes = result if isinstance(result, tuple) else (result, None)
+            if nbytes is None:
+                nbytes = self.fabric.params.control_payload
+            self.fabric._deliver_reply(msg, ("ok", value), nbytes)
+
+    def stop(self) -> None:
+        self.mailbox.put(_SHUTDOWN)
+        self._serving = False
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, dst: str, op: str, payload: Any = None,
+             nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
+        """One-way message (no reply expected)."""
+        yield from self.fabric._transmit(self, dst, op, payload, nbytes, reply_to=None)
+
+    def rpc(self, dst: str, op: str, payload: Any = None,
+            nbytes: Optional[int] = None) -> Generator[Event, Any, Any]:
+        """Remote invocation; suspends until the reply arrives.
+
+        Returns the handler's value; re-raises the handler's exception.
+        """
+        reply = Event(self.fabric.engine)
+        yield from self.fabric._transmit(self, dst, op, payload, nbytes, reply_to=reply)
+        status, value = yield reply
+        if status == "error":
+            raise value
+        return value
+
+
+_SHUTDOWN = object()
+
+
+class TransportFabric:
+    """Endpoint namespace + message delivery over the simulated network."""
+
+    def __init__(self, engine: Engine, network: Network,
+                 params: Optional[TransportParams] = None):
+        self.engine = engine
+        self.network = network
+        self.params = params or TransportParams()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._msg_ids = itertools.count(1)
+        #: Counters for the statistics layer.
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- naming service (omniNames substitute) -----------------------------------
+
+    def endpoint(self, name: str, host_name: str) -> Endpoint:
+        """Create and register a named endpoint on ``host_name``."""
+        if name in self._endpoints:
+            raise CommunicationError(f"endpoint name {name!r} already bound")
+        # Validate the host exists up front.
+        self.network.host(host_name)
+        ep = Endpoint(self, name, host_name)
+        self._endpoints[name] = ep
+        return ep
+
+    def resolve(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise CommunicationError(f"cannot resolve endpoint {name!r}") from None
+
+    def unbind(self, name: str) -> None:
+        ep = self._endpoints.pop(name, None)
+        if ep is not None:
+            ep.stop()
+
+    # -- delivery -----------------------------------------------------------------
+
+    def _transmit(self, src: Endpoint, dst_name: str, op: str, payload: Any,
+                  nbytes: Optional[int], reply_to: Optional[Event]
+                  ) -> Generator[Event, Any, None]:
+        dst = self.resolve(dst_name)
+        size = self.params.control_payload if nbytes is None else int(nbytes)
+        msg = Message(next(self._msg_ids), src.name, dst_name, op, payload,
+                      size, reply_to, sent_at=self.engine.now)
+        # Sender-side marshalling cost.
+        yield self.engine.timeout(
+            self.params.marshal_fixed + self.params.marshal_per_byte * size)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        yield from self.network.transfer(src.host_name, dst.host_name, size)
+        msg.delivered_at = self.engine.now
+        dst.mailbox.put(msg)
+
+    def _deliver_reply(self, request: Message, value: Any, nbytes: int) -> None:
+        """Ship an RPC reply back asynchronously (spawned process)."""
+        def _reply_proc() -> Generator[Event, Any, None]:
+            yield self.engine.timeout(
+                self.params.marshal_fixed + self.params.marshal_per_byte * nbytes)
+            self.messages_sent += 1
+            self.bytes_sent += nbytes
+            src_ep = self.resolve(request.dst)   # replying endpoint
+            dst_ep = self.resolve(request.src)   # original caller
+            yield from self.network.transfer(src_ep.host_name, dst_ep.host_name, nbytes)
+            assert request.reply_to is not None
+            request.reply_to.succeed(value)
+
+        self.engine.process(_reply_proc(), name=f"reply:{request.op}#{request.msg_id}")

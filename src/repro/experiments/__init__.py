@@ -1,0 +1,32 @@
+"""Experiment reproductions: one module per figure/table of §5 (plus the
+Figure 2/3 scientific analogues).  See DESIGN.md's experiment index."""
+
+from . import (
+    ablation_scheduler,
+    figure1_architecture,
+    figure2_density,
+    figure3_zoom,
+    figure4,
+    figure5,
+    overhead,
+    scaling_nodes,
+    table_timings,
+)
+from .report import ascii_gantt, ascii_series, ascii_table, hms, ms
+
+__all__ = [
+    "ablation_scheduler",
+    "figure1_architecture",
+    "ascii_gantt",
+    "ascii_series",
+    "ascii_table",
+    "figure2_density",
+    "figure3_zoom",
+    "figure4",
+    "figure5",
+    "hms",
+    "ms",
+    "overhead",
+    "scaling_nodes",
+    "table_timings",
+]

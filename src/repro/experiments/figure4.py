@@ -1,0 +1,88 @@
+"""E2/E3 — Figure 4: request distribution (Gantt) and per-SeD execution time.
+
+Paper: "After the first part of the simulation, each SED received 9
+requests (one of them received 10 requests) to compute the second part (see
+Figure 4, left).  As shown in Figure 4 (right) the total execution time for
+each SED is not the same: about 15h for Toulouse and 10h30 for Nancy.
+Consequently, the schedule is not optimal."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..services.workflow import CampaignConfig, CampaignResult, run_campaign
+from .report import ascii_gantt, ascii_table, hms
+
+__all__ = ["Figure4Result", "run", "render"]
+
+#: Paper's reading of Figure 4 right (hours of busy time).
+PAPER_MAX_BUSY_HOURS = 15.0     # Toulouse
+PAPER_MIN_BUSY_HOURS = 10.5     # Nancy
+
+
+@dataclass
+class Figure4Result:
+    campaign: CampaignResult
+
+    @property
+    def distribution(self) -> List[int]:
+        return sorted(self.campaign.requests_per_sed().values())
+
+    @property
+    def busy_hours_by_cluster(self) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {}
+        for sed, busy in self.campaign.busy_time_per_sed().items():
+            cluster = self.campaign.deployment.cluster_of_sed(sed)
+            out.setdefault(cluster, []).append(busy / 3600.0)
+        return {k: sorted(v) for k, v in sorted(out.items())}
+
+    @property
+    def max_busy_hours(self) -> float:
+        return max(max(v) for v in self.busy_hours_by_cluster.values())
+
+    @property
+    def min_busy_hours(self) -> float:
+        return min(min(v) for v in self.busy_hours_by_cluster.values())
+
+    @property
+    def busy_spread(self) -> float:
+        """max/min busy ratio — the 'schedule is not optimal' signal."""
+        return self.max_busy_hours / self.min_busy_hours
+
+    def slowest_cluster(self) -> str:
+        by_cluster = self.busy_hours_by_cluster
+        return max(by_cluster, key=lambda c: max(by_cluster[c]))
+
+    def fastest_cluster(self) -> str:
+        by_cluster = self.busy_hours_by_cluster
+        return min(by_cluster, key=lambda c: min(by_cluster[c]))
+
+
+def run(config: Optional[CampaignConfig] = None) -> Figure4Result:
+    return Figure4Result(campaign=run_campaign(config or CampaignConfig()))
+
+
+def render(result: Figure4Result) -> str:
+    parts = ["E2 - Figure 4 left: Gantt chart of the 100 sub-simulations",
+             ascii_gantt(result.campaign.gantt()),
+             "",
+             f"request distribution over SeDs: {result.distribution}"
+             "   (paper: 9 x 10 SeDs, 10 x 1 SeD)",
+             "",
+             "E3 - Figure 4 right: per-SeD execution time"]
+    rows: List[Tuple[str, str]] = []
+    for cluster, hours in result.busy_hours_by_cluster.items():
+        rows.append((cluster, ", ".join(f"{h:.2f}h" for h in hours)))
+    parts.append(ascii_table(("cluster", "per-SeD busy time"), rows))
+    parts.append("")
+    parts.append(
+        f"slowest: {result.slowest_cluster()} ({result.max_busy_hours:.1f}h), "
+        f"fastest: {result.fastest_cluster()} ({result.min_busy_hours:.1f}h)  "
+        f"(paper: Toulouse ~{PAPER_MAX_BUSY_HOURS}h, Nancy ~{PAPER_MIN_BUSY_HOURS}h)")
+    parts.append(
+        f"busy-time spread max/min = {result.busy_spread:.2f} "
+        f"(paper ~{PAPER_MAX_BUSY_HOURS / PAPER_MIN_BUSY_HOURS:.2f}) "
+        "=> the default schedule is not optimal")
+    return "\n".join(parts)

@@ -1,0 +1,69 @@
+"""E1: the §5.2 headline timings.
+
+Paper: "The experiment (including both the first and the second part of the
+simulation) lasted 16h 18min 43s (1h 15min 11s for the first part and an
+average of 1h 24min 1s for the second part). [...] it would take more than
+141h to run the 101 simulation sequentially."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..services.perfmodel import (
+    PAPER_PART1_SECONDS,
+    PAPER_PART2_MEAN_SECONDS,
+    PAPER_TOTAL_SECONDS,
+)
+from ..services.workflow import CampaignConfig, CampaignResult, run_campaign
+from .report import ascii_table, hms
+
+__all__ = ["TimingsResult", "run", "render"]
+
+PAPER_SEQUENTIAL_HOURS = 141.0
+
+
+@dataclass
+class TimingsResult:
+    campaign: CampaignResult
+
+    @property
+    def part1_seconds(self) -> float:
+        return self.campaign.part1_duration
+
+    @property
+    def part2_mean_seconds(self) -> float:
+        return self.campaign.part2_mean_duration
+
+    @property
+    def total_seconds(self) -> float:
+        return self.campaign.total_elapsed
+
+    @property
+    def sequential_hours(self) -> float:
+        return self.campaign.sequential_estimate / 3600.0
+
+    @property
+    def speedup(self) -> float:
+        return self.campaign.speedup
+
+
+def run(config: Optional[CampaignConfig] = None) -> TimingsResult:
+    return TimingsResult(campaign=run_campaign(config or CampaignConfig()))
+
+
+def render(result: TimingsResult) -> str:
+    rows = [
+        ("first part (128^3 full box)", hms(result.part1_seconds),
+         hms(PAPER_PART1_SECONDS)),
+        ("second part (mean of 100 zooms)", hms(result.part2_mean_seconds),
+         hms(PAPER_PART2_MEAN_SECONDS)),
+        ("total campaign", hms(result.total_seconds),
+         hms(PAPER_TOTAL_SECONDS)),
+        ("sequential estimate", f"{result.sequential_hours:.1f}h",
+         f">{PAPER_SEQUENTIAL_HOURS:.0f}h"),
+        ("parallel speedup", f"{result.speedup:.2f}x", "~8.7x (derived)"),
+    ]
+    return ("E1 - campaign timings (measured vs paper)\n"
+            + ascii_table(("quantity", "measured", "paper"), rows))

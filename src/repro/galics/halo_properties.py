@@ -1,0 +1,103 @@
+"""Physical halo properties beyond raw FoF membership.
+
+HaloMaker's production version reports virial quantities; this module adds
+them to our catalogs:
+
+* **M200 / R200** — spherical-overdensity mass and radius: the sphere
+  around the halo centre whose mean density is 200x the *mean matter*
+  density of the box (the convention matching FoF b=0.2 linking);
+* **velocity dispersion** — the 1-d dispersion of member peculiar
+  velocities;
+* **NFW-free concentration proxy** — r_half / R200, the radius enclosing
+  half of M200 (cuspier halos have smaller values).
+
+All computations are vectorized over the particle arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..ramses.particles import ParticleSet
+from .catalogs import Halo
+
+__all__ = ["VirialProperties", "virial_properties", "velocity_dispersion"]
+
+#: The spherical-overdensity threshold (x mean matter density).
+OVERDENSITY = 200.0
+
+
+@dataclass(frozen=True)
+class VirialProperties:
+    """Spherical-overdensity properties of one halo."""
+
+    m200: float            # box-mass units
+    r200: float            # box units
+    r_half: float          # half-mass radius of the M200 sphere
+    sigma_v: float         # 1-d velocity dispersion, code units
+    n200: int              # particles within R200
+
+    @property
+    def concentration_proxy(self) -> float:
+        """r_half / R200 in (0, 1); smaller == more concentrated."""
+        return self.r_half / self.r200 if self.r200 > 0 else 0.0
+
+
+def _periodic_radii(x: np.ndarray, center: np.ndarray) -> np.ndarray:
+    d = np.abs(x - center)
+    d = np.minimum(d, 1.0 - d)
+    return np.sqrt((d ** 2).sum(axis=1))
+
+
+def velocity_dispersion(parts: ParticleSet, members: np.ndarray,
+                        aexp: float) -> float:
+    """Mass-weighted 1-d peculiar-velocity dispersion of ``members``."""
+    if len(members) == 0:
+        raise ValueError("empty member set")
+    v = parts.p[members] / aexp
+    m = parts.mass[members]
+    mean = np.average(v, axis=0, weights=m)
+    var = np.average((v - mean) ** 2, axis=0, weights=m)
+    return float(np.sqrt(var.mean()))
+
+
+def virial_properties(halo: Halo, parts: ParticleSet, aexp: float,
+                      overdensity: float = OVERDENSITY,
+                      r_max: float = 0.25) -> Optional[VirialProperties]:
+    """Spherical-overdensity properties around ``halo``'s centre.
+
+    Walks outward in radius until the enclosed mean density (relative to
+    the box mean, which is ``total_mass == 1`` by construction) drops below
+    ``overdensity``.  Returns None when even the innermost shell is below
+    threshold (diffuse FoF bridge artifacts).
+    """
+    radii = _periodic_radii(parts.x, halo.center)
+    order = np.argsort(radii)
+    sorted_r = radii[order]
+    enclosed_mass = np.cumsum(parts.mass[order])
+
+    # mean enclosed density / box mean = M(<r) / ((4/3) pi r^3 rho_mean)
+    # with rho_mean = total_mass / 1  (unit box)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        density_ratio = enclosed_mass / (4.0 / 3.0 * np.pi * sorted_r ** 3
+                                         * parts.total_mass)
+    valid = (sorted_r > 0) & (sorted_r < r_max)
+    above = valid & (density_ratio >= overdensity)
+    if not above.any():
+        return None
+    # last index still above the threshold defines R200
+    idx = np.flatnonzero(above).max()
+    r200 = float(sorted_r[idx])
+    m200 = float(enclosed_mass[idx])
+    n200 = int(idx + 1)
+
+    half_idx = int(np.searchsorted(enclosed_mass[:idx + 1], 0.5 * m200))
+    r_half = float(sorted_r[min(half_idx, idx)])
+
+    inside = order[:idx + 1]
+    sigma = velocity_dispersion(parts, inside, aexp)
+    return VirialProperties(m200=m200, r200=r200, r_half=r_half,
+                            sigma_v=sigma, n200=n200)

@@ -1,0 +1,38 @@
+"""GRAFIC substitute: Gaussian random field initial conditions.
+
+Single-level ICs feed the first low-resolution run; multi-level nested
+("Russian doll") ICs feed the zoom re-simulations (paper §3).
+"""
+
+from .gaussian_field import GaussianFieldGenerator, k_grid, measure_power_spectrum
+from .lpt import (
+    d2_growth,
+    make_single_level_ic_2lpt,
+    second_order_displacement,
+)
+from .ic import (
+    InitialConditions,
+    ZoomRegion,
+    make_multi_level_ic,
+    make_single_level_ic,
+)
+from .power_spectrum import PowerSpectrum, transfer_bbks, transfer_eisenstein_hu
+from .zeldovich import displace_lattice, growing_mode_momentum_factor
+
+__all__ = [
+    "GaussianFieldGenerator",
+    "InitialConditions",
+    "PowerSpectrum",
+    "ZoomRegion",
+    "d2_growth",
+    "displace_lattice",
+    "growing_mode_momentum_factor",
+    "k_grid",
+    "make_multi_level_ic",
+    "make_single_level_ic_2lpt",
+    "make_single_level_ic",
+    "measure_power_spectrum",
+    "second_order_displacement",
+    "transfer_bbks",
+    "transfer_eisenstein_hu",
+]

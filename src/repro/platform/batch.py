@@ -1,0 +1,97 @@
+"""OAR-like batch reservation ledger.
+
+Grid'5000 nodes are obtained through advance reservations (OAR).  The paper
+inherits one visible consequence: *"one cluster of Lyon had only one SED due
+to reservation restrictions"* — 11 SeDs instead of 12.  This module models
+the reservation book-keeping so the topology builder can express exactly
+that situation (and tests can exercise rejection paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Reservation", "BatchScheduler", "ReservationError"]
+
+
+class ReservationError(RuntimeError):
+    """Raised when a reservation cannot be granted."""
+
+
+@dataclass
+class Reservation:
+    """A granted block of nodes on one cluster."""
+
+    job_id: int
+    cluster: str
+    n_nodes: int
+    walltime_s: float
+    owner: str
+
+
+@dataclass
+class _ClusterState:
+    total_nodes: int
+    free_nodes: int
+    #: Administrative cap on nodes grantable to one user (None == no cap).
+    user_cap: Optional[int] = None
+    reservations: List[Reservation] = field(default_factory=list)
+
+
+class BatchScheduler:
+    """Tracks node availability per cluster and grants reservations."""
+
+    def __init__(self):
+        self._clusters: Dict[str, _ClusterState] = {}
+        self._next_job_id = 1
+
+    def add_cluster(self, name: str, total_nodes: int,
+                    user_cap: Optional[int] = None) -> None:
+        if total_nodes < 1:
+            raise ValueError("total_nodes must be >= 1")
+        if name in self._clusters:
+            raise ValueError(f"duplicate cluster {name!r}")
+        self._clusters[name] = _ClusterState(total_nodes, total_nodes, user_cap)
+
+    def free_nodes(self, cluster: str) -> int:
+        return self._state(cluster).free_nodes
+
+    def _state(self, cluster: str) -> _ClusterState:
+        try:
+            return self._clusters[cluster]
+        except KeyError:
+            raise ReservationError(f"unknown cluster {cluster!r}") from None
+
+    def reserve(self, cluster: str, n_nodes: int, walltime_s: float,
+                owner: str = "user") -> Reservation:
+        """Grant ``n_nodes`` on ``cluster`` or raise :class:`ReservationError`."""
+        state = self._state(cluster)
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if n_nodes > state.free_nodes:
+            raise ReservationError(
+                f"cluster {cluster!r}: requested {n_nodes} nodes, only "
+                f"{state.free_nodes} free")
+        if state.user_cap is not None:
+            already = sum(r.n_nodes for r in state.reservations if r.owner == owner)
+            if already + n_nodes > state.user_cap:
+                raise ReservationError(
+                    f"cluster {cluster!r}: user cap {state.user_cap} nodes "
+                    f"(owner {owner!r} holds {already}, wants {n_nodes} more)")
+        res = Reservation(self._next_job_id, cluster, n_nodes, walltime_s, owner)
+        self._next_job_id += 1
+        state.free_nodes -= n_nodes
+        state.reservations.append(res)
+        return res
+
+    def release(self, reservation: Reservation) -> None:
+        state = self._state(reservation.cluster)
+        try:
+            state.reservations.remove(reservation)
+        except ValueError:
+            raise ReservationError("reservation not active") from None
+        state.free_nodes += reservation.n_nodes
+
+    def reservations(self, cluster: str) -> List[Reservation]:
+        return list(self._state(cluster).reservations)

@@ -1,0 +1,113 @@
+"""Per-cluster NFS working-directory model.
+
+§4.1 of the paper: *"The current version of RAMSES requires a NFS working
+directory in order to write the output files, hence restricting the possible
+types of solving architectures."*  Consequently every stage of one
+simulation (IC generation, solve, post-processing) must run on machines
+that mount the same NFS volume — in the paper, one cluster.
+
+This module models that constraint: an :class:`NfsVolume` knows which hosts
+mount it, tracks used capacity, and charges simulated time for reads and
+writes at the NFS server's effective throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Set
+
+from ..sim.engine import Engine, Event
+from ..sim.resources import Resource
+
+__all__ = ["NfsVolume", "NfsError"]
+
+
+class NfsError(RuntimeError):
+    """Raised on capacity overflow or access from a non-mounting host."""
+
+
+class NfsVolume:
+    """A shared filesystem exported to a fixed set of hosts.
+
+    ``throughput`` is effective bytes/second for sequential access;
+    ``max_concurrent`` models NFS daemon threads — beyond it, accesses
+    queue, which is the mechanism behind per-cluster I/O efficiency
+    differences in the timing reproduction.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity_bytes: float = 1e12,
+                 throughput: float = 60e6, max_concurrent: int = 4):
+        if capacity_bytes <= 0 or throughput <= 0:
+            raise ValueError("capacity and throughput must be positive")
+        self.engine = engine
+        self.name = name
+        self.capacity_bytes = float(capacity_bytes)
+        self.throughput = float(throughput)
+        self._mounts: Set[str] = set()
+        self._files: Dict[str, int] = {}
+        self._daemons = Resource(engine, capacity=max_concurrent)
+
+    # -- mounting ---------------------------------------------------------------
+
+    def export_to(self, host_name: str) -> None:
+        self._mounts.add(host_name)
+
+    def is_mounted_on(self, host_name: str) -> bool:
+        return host_name in self._mounts
+
+    def _check_mount(self, host_name: str) -> None:
+        if host_name not in self._mounts:
+            raise NfsError(f"host {host_name!r} does not mount NFS volume {self.name!r}")
+
+    # -- contents ---------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._files.values())
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size_of(self, path: str) -> int:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise NfsError(f"no such file on {self.name!r}: {path!r}") from None
+
+    def unlink(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def listing(self) -> Dict[str, int]:
+        return dict(self._files)
+
+    # -- timed access -------------------------------------------------------------
+
+    def write(self, host_name: str, path: str,
+              nbytes: int) -> Generator[Event, Any, None]:
+        """Process helper: write ``nbytes`` to ``path`` from ``host_name``."""
+        self._check_mount(host_name)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        new_used = self.used_bytes - self._files.get(path, 0) + nbytes
+        if new_used > self.capacity_bytes:
+            raise NfsError(
+                f"volume {self.name!r} full: need {new_used}, capacity {self.capacity_bytes}")
+        req = yield from self._daemons.acquire()
+        try:
+            yield self.engine.timeout(nbytes / self.throughput)
+        finally:
+            self._daemons.release(req)
+        self._files[path] = nbytes
+
+    def read(self, host_name: str, path: str) -> Generator[Event, Any, int]:
+        """Process helper: read ``path``; returns its size in bytes."""
+        self._check_mount(host_name)
+        nbytes = self.size_of(path)
+        req = yield from self._daemons.acquire()
+        try:
+            yield self.engine.timeout(nbytes / self.throughput)
+        finally:
+            self._daemons.release(req)
+        return nbytes
+
+    def __repr__(self) -> str:
+        return f"NfsVolume({self.name!r}, mounts={len(self._mounts)}, files={len(self._files)})"

@@ -1,0 +1,119 @@
+"""Peano-Hilbert space-filling curve (3-d), fully vectorized.
+
+RAMSES decomposes its computational volume over MPI processes by sorting
+cells along the Peano-Hilbert curve and cutting the sorted list into equal-
+work chunks ([5, 6] in the paper; §3: "The computational space is
+decomposed among the available processors using a mesh partitioning
+strategy based on the Peano-Hilbert cell ordering").
+
+The implementation is Skilling's transpose algorithm (AIP Conf. Proc. 707,
+2004) operating on numpy integer arrays, so encoding a few million cells is
+a handful of vectorized passes.  ``encode``/``decode`` are exact inverses
+for any level <= 20 (property-tested), and consecutive keys are
+face-adjacent cells — the locality property that makes the decomposition
+communication-friendly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hilbert_encode", "hilbert_decode", "positions_to_keys"]
+
+_MAX_LEVEL = 20  # 3*20 = 60 key bits < 63
+
+
+def _check_level(level: int) -> None:
+    if not 1 <= level <= _MAX_LEVEL:
+        raise ValueError(f"level must be in [1, {_MAX_LEVEL}], got {level}")
+
+
+def hilbert_encode(ix: np.ndarray, iy: np.ndarray, iz: np.ndarray,
+                   level: int) -> np.ndarray:
+    """Cell indices (each in [0, 2**level)) -> Hilbert keys (int64).
+
+    Keys enumerate the 2**(3*level) cells along the Hilbert curve.
+    """
+    _check_level(level)
+    X = [np.asarray(c).astype(np.int64).copy() for c in (ix, iy, iz)]
+    n_side = np.int64(1) << level
+    for c in X:
+        if np.any((c < 0) | (c >= n_side)):
+            raise ValueError(f"cell index out of range [0, {n_side})")
+
+    m = np.int64(1) << (level - 1)
+    # -- Skilling: AxesToTranspose ------------------------------------------------
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(3):
+            flag = (X[i] & q) != 0
+            # invert X[0] where flag, else exchange low bits of X[0] and X[i]
+            X[0] = np.where(flag, X[0] ^ p, X[0])
+            t = np.where(flag, 0, (X[0] ^ X[i]) & p)
+            X[0] ^= t
+            X[i] ^= t
+        q >>= 1
+    # Gray encode
+    for i in range(1, 3):
+        X[i] ^= X[i - 1]
+    t = np.zeros_like(X[0])
+    q = np.int64(2)
+    while q != (m << 1):
+        t = np.where((X[2] & q) != 0, t ^ (q - 1), t)
+        q <<= 1
+    for i in range(3):
+        X[i] ^= t
+
+    # -- interleave transposed bits into a single key ---------------------------------
+    key = np.zeros_like(X[0])
+    for b in range(level):
+        for i in range(3):
+            bit = (X[i] >> np.int64(level - 1 - b)) & 1
+            key = (key << 1) | bit
+    return key
+
+
+def hilbert_decode(key: np.ndarray, level: int):
+    """Hilbert keys -> cell indices (ix, iy, iz); inverse of encode."""
+    _check_level(level)
+    key = np.asarray(key).astype(np.int64)
+    n_keys = np.int64(1) << (3 * level)
+    if np.any((key < 0) | (key >= n_keys)):
+        raise ValueError(f"key out of range [0, {n_keys})")
+
+    # de-interleave into the transposed representation
+    X = [np.zeros_like(key) for _ in range(3)]
+    for b in range(level):
+        for i in range(3):
+            shift = np.int64(3 * (level - 1 - b) + (2 - i))
+            bit = (key >> shift) & 1
+            X[i] = (X[i] << 1) | bit
+
+    m = np.int64(1) << (level - 1)
+    # -- Skilling: TransposeToAxes -------------------------------------------------
+    t = X[2] >> 1
+    for i in range(2, 0, -1):
+        X[i] ^= X[i - 1]
+    X[0] ^= t
+    q = np.int64(2)
+    while q != (m << 1):
+        p = q - 1
+        for i in range(2, -1, -1):
+            flag = (X[i] & q) != 0
+            X[0] = np.where(flag, X[0] ^ p, X[0])
+            tt = np.where(flag, 0, (X[0] ^ X[i]) & p)
+            X[0] ^= tt
+            X[i] ^= tt
+        q <<= 1
+    return X[0], X[1], X[2]
+
+
+def positions_to_keys(x: np.ndarray, level: int) -> np.ndarray:
+    """Positions in [0,1)^3 -> Hilbert keys of their cells at ``level``."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[1] != 3:
+        raise ValueError("x must be (N, 3)")
+    n_side = 1 << level
+    cells = np.clip((x * n_side).astype(np.int64), 0, n_side - 1)
+    return hilbert_encode(cells[:, 0], cells[:, 1], cells[:, 2], level)

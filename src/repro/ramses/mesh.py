@@ -1,0 +1,115 @@
+"""Periodic mesh operations: CIC mass deposit and field interpolation.
+
+Cloud-in-cell is the workhorse of the PM solver.  Both directions are fully
+vectorized (``np.add.at`` for the scatter, fancy indexing for the gather),
+following the hpc-parallel guide's vectorize-first rule — no per-particle
+Python loops anywhere in the hot path.
+
+Deposit conserves mass to machine precision (a hypothesis test asserts it)
+and the deposit/interpolate pair is adjoint, which keeps the PM force
+momentum-conserving to the accuracy of the differencing scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["cic_deposit", "cic_interpolate", "density_contrast"]
+
+
+def _cic_weights(x: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Base cell indices and weights for CIC on an n^3 periodic grid.
+
+    Returns (i0, frac) where ``i0`` is the lower cell index per axis and
+    ``frac`` the fractional offset, both (N, 3).
+    """
+    if n < 1:
+        raise ValueError("grid size must be >= 1")
+    s = x * n - 0.5          # position in cell-centre coordinates
+    i0 = np.floor(s).astype(np.int64)
+    frac = s - i0
+    return i0, frac
+
+
+def cic_deposit(x: np.ndarray, mass: np.ndarray, n: int) -> np.ndarray:
+    """Deposit particle masses onto an (n, n, n) periodic grid with CIC.
+
+    Parameters
+    ----------
+    x : (N, 3) positions in [0, 1)
+    mass : (N,) masses
+    n : grid cells per side
+
+    Returns the mass grid (not density): ``grid.sum() == mass.sum()``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    if x.ndim != 2 or x.shape[1] != 3:
+        raise ValueError("x must be (N, 3)")
+    if mass.shape != (x.shape[0],):
+        raise ValueError("mass must be (N,)")
+    grid = np.zeros((n, n, n), dtype=np.float64)
+    if len(x) == 0:
+        return grid
+    i0, frac = _cic_weights(x, n)
+    for dx in (0, 1):
+        wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
+        ix = (i0[:, 0] + dx) % n
+        for dy in (0, 1):
+            wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
+            iy = (i0[:, 1] + dy) % n
+            for dz in (0, 1):
+                wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
+                iz = (i0[:, 2] + dz) % n
+                np.add.at(grid, (ix, iy, iz), mass * wx * wy * wz)
+    return grid
+
+
+def cic_interpolate(field: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gather a grid field at particle positions with CIC weights.
+
+    ``field`` may be (n, n, n) for a scalar or (n, n, n, C) for C components
+    (e.g. acceleration); the result is (N,) or (N, C) accordingly.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if field.ndim not in (3, 4):
+        raise ValueError("field must be (n,n,n) or (n,n,n,C)")
+    n = field.shape[0]
+    if field.shape[1] != n or field.shape[2] != n:
+        raise ValueError("field must be cubic")
+    i0, frac = _cic_weights(x, n)
+    vector = field.ndim == 4
+    out_shape = (len(x), field.shape[3]) if vector else (len(x),)
+    out = np.zeros(out_shape, dtype=np.float64)
+    for dx in (0, 1):
+        wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
+        ix = (i0[:, 0] + dx) % n
+        for dy in (0, 1):
+            wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
+            iy = (i0[:, 1] + dy) % n
+            for dz in (0, 1):
+                wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
+                iz = (i0[:, 2] + dz) % n
+                w = wx * wy * wz
+                if vector:
+                    out += field[ix, iy, iz] * w[:, None]
+                else:
+                    out += field[ix, iy, iz] * w
+    return out
+
+
+def density_contrast(x: np.ndarray, mass: np.ndarray, n: int) -> np.ndarray:
+    """Density contrast delta = rho/rho_mean - 1 on an n^3 grid.
+
+    The mean is taken over the actual deposited mass, so delta always has
+    zero mean regardless of the particle masses (full-box or zoom sets).
+    """
+    grid = cic_deposit(x, mass, n)
+    total = grid.sum()
+    if total <= 0:
+        raise ValueError("no mass deposited")
+    mean = total / n ** 3
+    return grid / mean - 1.0

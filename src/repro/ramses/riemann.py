@@ -1,0 +1,155 @@
+"""Exact Riemann solver for the 1-d Euler equations (ideal gas).
+
+The reference solution for validating the finite-volume hydro solver
+(RAMSES is "a finite volume Euler solver, based on the Adaptive Mesh
+Refinement technics", §3).  Implementation follows Toro (2009, ch. 4):
+Newton-Raphson on the pressure equation across the two nonlinear waves,
+then sampling of the self-similar solution.
+
+Used by the Sod shock-tube tests; also usable as a (slow, scalar) flux
+oracle for the HLLC solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["PrimitiveState", "exact_riemann", "sample_riemann", "sod_states"]
+
+
+@dataclass(frozen=True)
+class PrimitiveState:
+    """(rho, u, p) of an ideal gas."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self):
+        if self.rho <= 0 or self.p <= 0:
+            raise ValueError("density and pressure must be positive")
+
+    def sound_speed(self, gamma: float) -> float:
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def sod_states() -> Tuple[PrimitiveState, PrimitiveState]:
+    """The canonical Sod (1978) shock-tube initial states."""
+    return (PrimitiveState(1.0, 0.0, 1.0),
+            PrimitiveState(0.125, 0.0, 0.1))
+
+
+def _pressure_function(p: float, state: PrimitiveState, gamma: float
+                       ) -> Tuple[float, float]:
+    """f(p, state) and df/dp for the pressure equation (Toro eq. 4.6/4.7)."""
+    a = state.sound_speed(gamma)
+    if p > state.p:     # shock
+        big_a = 2.0 / ((gamma + 1.0) * state.rho)
+        big_b = (gamma - 1.0) / (gamma + 1.0) * state.p
+        sqrt_term = np.sqrt(big_a / (p + big_b))
+        f = (p - state.p) * sqrt_term
+        df = sqrt_term * (1.0 - 0.5 * (p - state.p) / (p + big_b))
+    else:               # rarefaction
+        exponent = (gamma - 1.0) / (2.0 * gamma)
+        f = (2.0 * a / (gamma - 1.0)) * ((p / state.p) ** exponent - 1.0)
+        df = (1.0 / (state.rho * a)) * (p / state.p) ** (-(gamma + 1.0)
+                                                         / (2.0 * gamma))
+    return float(f), float(df)
+
+
+def exact_riemann(left: PrimitiveState, right: PrimitiveState,
+                  gamma: float = 1.4, tol: float = 1e-12,
+                  max_iter: int = 100) -> Tuple[float, float]:
+    """Star-region pressure and velocity (p*, u*)."""
+    du = right.u - left.u
+    # vacuum check (Toro eq. 4.40)
+    a_l, a_r = left.sound_speed(gamma), right.sound_speed(gamma)
+    if 2.0 * (a_l + a_r) / (gamma - 1.0) <= du:
+        raise ValueError("initial states generate vacuum")
+
+    p = max(0.5 * (left.p + right.p) - 0.125 * du
+            * (left.rho + right.rho) * (a_l + a_r) * 0.5, 1e-12)
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, left, gamma)
+        f_r, df_r = _pressure_function(p, right, gamma)
+        delta = (f_l + f_r + du) / (df_l + df_r)
+        p_new = max(p - delta, 1e-14)
+        if abs(p_new - p) < tol * max(p, 1e-14):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _pressure_function(p, left, gamma)
+    f_r, _ = _pressure_function(p, right, gamma)
+    u = 0.5 * (left.u + right.u) + 0.5 * (f_r - f_l)
+    return float(p), float(u)
+
+
+def sample_riemann(left: PrimitiveState, right: PrimitiveState,
+                   xi: np.ndarray, gamma: float = 1.4) -> np.ndarray:
+    """Sample the solution at similarity coordinates xi = x/t.
+
+    Returns an array of shape (len(xi), 3): (rho, u, p) at each point.
+    """
+    xi = np.atleast_1d(np.asarray(xi, dtype=float))
+    p_star, u_star = exact_riemann(left, right, gamma)
+    out = np.empty((len(xi), 3))
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+
+    for k, s in enumerate(xi):
+        if s <= u_star:     # left of the contact
+            st = left
+            a = st.sound_speed(gamma)
+            if p_star > st.p:   # left shock
+                shock_speed = st.u - a * np.sqrt(
+                    gp1 / (2 * gamma) * p_star / st.p + gm1 / (2 * gamma))
+                if s < shock_speed:
+                    rho, u, p = st.rho, st.u, st.p
+                else:
+                    rho = st.rho * ((p_star / st.p + gm1 / gp1)
+                                    / (gm1 / gp1 * p_star / st.p + 1.0))
+                    u, p = u_star, p_star
+            else:               # left rarefaction
+                head = st.u - a
+                a_star = a * (p_star / st.p) ** (gm1 / (2 * gamma))
+                tail = u_star - a_star
+                if s < head:
+                    rho, u, p = st.rho, st.u, st.p
+                elif s > tail:
+                    rho = st.rho * (p_star / st.p) ** (1.0 / gamma)
+                    u, p = u_star, p_star
+                else:           # inside the fan
+                    u = (2.0 / gp1) * (a + gm1 / 2.0 * st.u + s)
+                    c = (2.0 / gp1) * (a + gm1 / 2.0 * (st.u - s))
+                    rho = st.rho * (c / a) ** (2.0 / gm1)
+                    p = st.p * (c / a) ** (2.0 * gamma / gm1)
+        else:               # right of the contact
+            st = right
+            a = st.sound_speed(gamma)
+            if p_star > st.p:   # right shock
+                shock_speed = st.u + a * np.sqrt(
+                    gp1 / (2 * gamma) * p_star / st.p + gm1 / (2 * gamma))
+                if s > shock_speed:
+                    rho, u, p = st.rho, st.u, st.p
+                else:
+                    rho = st.rho * ((p_star / st.p + gm1 / gp1)
+                                    / (gm1 / gp1 * p_star / st.p + 1.0))
+                    u, p = u_star, p_star
+            else:               # right rarefaction
+                head = st.u + a
+                a_star = a * (p_star / st.p) ** (gm1 / (2 * gamma))
+                tail = u_star + a_star
+                if s > head:
+                    rho, u, p = st.rho, st.u, st.p
+                elif s < tail:
+                    rho = st.rho * (p_star / st.p) ** (1.0 / gamma)
+                    u, p = u_star, p_star
+                else:
+                    u = (2.0 / gp1) * (-a + gm1 / 2.0 * st.u + s)
+                    c = (2.0 / gp1) * (a - gm1 / 2.0 * (st.u - s))
+                    rho = st.rho * (c / a) ** (2.0 / gm1)
+                    p = st.p * (c / a) ** (2.0 * gamma / gm1)
+        out[k] = (rho, u, p)
+    return out

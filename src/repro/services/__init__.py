@@ -1,0 +1,63 @@
+"""RAMSES-DIET integration (paper §4) and the §5 campaign workflow."""
+
+from .perfmodel import (
+    PAPER_BOX_MPC_H,
+    PAPER_PART1_SECONDS,
+    PAPER_PART2_MEAN_SECONDS,
+    PAPER_RESOLUTION,
+    PAPER_TOTAL_SECONDS,
+    RamsesPerfModel,
+)
+from .ramses_client import (
+    Zoom2Result,
+    build_zoom1_profile,
+    build_zoom2_profile,
+    decode_center,
+    decode_zoom1,
+    decode_zoom2,
+    default_namelist_text,
+    encode_center,
+)
+from .ramses_service import (
+    COORD_SCALE,
+    ExecutionMode,
+    RamsesService,
+    RamsesServiceConfig,
+    register_ramses_services,
+    zoom1_profile_desc,
+    zoom2_profile_desc,
+)
+from .workflow import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+    synthetic_zoom_centers,
+)
+
+__all__ = [
+    "COORD_SCALE",
+    "CampaignConfig",
+    "CampaignResult",
+    "ExecutionMode",
+    "PAPER_BOX_MPC_H",
+    "PAPER_PART1_SECONDS",
+    "PAPER_PART2_MEAN_SECONDS",
+    "PAPER_RESOLUTION",
+    "PAPER_TOTAL_SECONDS",
+    "RamsesPerfModel",
+    "RamsesService",
+    "RamsesServiceConfig",
+    "Zoom2Result",
+    "build_zoom1_profile",
+    "build_zoom2_profile",
+    "decode_center",
+    "decode_zoom1",
+    "decode_zoom2",
+    "default_namelist_text",
+    "encode_center",
+    "register_ramses_services",
+    "run_campaign",
+    "synthetic_zoom_centers",
+    "zoom1_profile_desc",
+    "zoom2_profile_desc",
+]

@@ -1,0 +1,275 @@
+"""The full two-part campaign of §5: one low-resolution run, then 100
+simultaneous zoom sub-simulations.
+
+"We studied the possibility of computing a lot of low-resolution
+simulations.  The client requests a 128^3 particles 100 Mpc/h simulation
+(first part).  When he receives the results, he requests simultaneously 100
+sub-simulations (second part).  As each server cannot compute more than one
+simulation at the same time, we won't be able to have more than 11 parallel
+computations at the same time."
+
+:func:`run_campaign` builds the whole stack (platform, hierarchy, services)
+and produces a :class:`CampaignResult` from which every §5 figure/number is
+derived.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.client import AsyncRequest
+from ..core.deployment import Deployment, deploy_paper_hierarchy
+from ..core.scheduling import SchedulerPolicy, make_policy
+from ..core.statistics import RequestTrace
+from ..platform.grid5000 import ClusterSpec, Grid5000Platform, build_grid5000
+from ..sim.engine import Engine
+from ..sim.rng import RandomStreams
+from .perfmodel import RamsesPerfModel
+from .ramses_client import (
+    build_zoom1_profile,
+    build_zoom2_profile,
+    decode_zoom1,
+    decode_zoom2,
+    default_namelist_text,
+)
+from .ramses_service import (
+    ExecutionMode,
+    RamsesServiceConfig,
+    register_ramses_services,
+)
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign",
+           "synthetic_zoom_centers"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that parameterizes one campaign run."""
+
+    n_sub_simulations: int = 100
+    resolution: int = 128
+    boxsize_mpc_h: int = 100
+    n_zoom_levels: int = 2
+    mode: ExecutionMode = ExecutionMode.MODELED
+    #: scheduler policy name (see repro.core.scheduling.POLICIES).
+    policy: str = "default"
+    #: register SeD-side performance predictors (plug-in scheduler half).
+    with_predictor: bool = False
+    seed: int = 2007
+    #: REAL mode knobs (toy scales).
+    workdir: Optional[str] = None
+    real_n_steps: int = 12
+    real_a_end: float = 0.6
+    #: optional platform override (None == the paper's 6 clusters / 11 SeDs).
+    cluster_specs: Optional[Tuple[ClusterSpec, ...]] = None
+
+
+@dataclass
+class CampaignResult:
+    """Outcome + every series the §5 evaluation reports."""
+
+    config: CampaignConfig
+    deployment: Deployment
+    part1_trace: RequestTrace
+    part2_traces: List[RequestTrace]
+    statuses: List[int]
+    zoom_centers: List[Tuple[float, float, float]]
+
+    # -- §5.2 headline numbers ---------------------------------------------------------
+
+    @property
+    def tracer(self):
+        return self.deployment.tracer
+
+    @property
+    def part1_duration(self) -> float:
+        return self.part1_trace.total_time or 0.0
+
+    @property
+    def part2_durations(self) -> List[float]:
+        return [t.solve_duration for t in self.part2_traces
+                if t.solve_duration is not None]
+
+    @property
+    def part2_mean_duration(self) -> float:
+        d = self.part2_durations
+        return float(np.mean(d)) if d else 0.0
+
+    @property
+    def total_elapsed(self) -> float:
+        """Submit of part 1 to completion of the last sub-simulation."""
+        ends = [t.completed_at for t in self.part2_traces
+                if t.completed_at is not None]
+        start = self.part1_trace.submitted_at or 0.0
+        return (max(ends) - start) if ends else self.part1_duration
+
+    @property
+    def sequential_estimate(self) -> float:
+        """What the 101 simulations would cost run back to back (>141 h)."""
+        part1 = self.part1_trace.solve_duration or 0.0
+        return part1 + sum(self.part2_durations)
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_estimate / self.total_elapsed
+
+    # -- figure series --------------------------------------------------------------------
+
+    def finding_times(self) -> List[float]:
+        out = []
+        for t in [self.part1_trace] + self.part2_traces:
+            if t.finding_time is not None:
+                out.append(t.finding_time)
+        return out
+
+    def latencies(self) -> List[float]:
+        return [t.latency for t in self.part2_traces if t.latency is not None]
+
+    def requests_per_sed(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for t in self.part2_traces:
+            if t.sed_name:
+                counts[t.sed_name] = counts.get(t.sed_name, 0) + 1
+        return counts
+
+    def busy_time_per_sed(self) -> Dict[str, float]:
+        busy: Dict[str, float] = {}
+        for t in self.part2_traces:
+            if t.sed_name and t.solve_duration is not None:
+                busy[t.sed_name] = busy.get(t.sed_name, 0.0) + t.solve_duration
+        return busy
+
+    def gantt(self) -> Dict[str, List[Tuple[float, float, int]]]:
+        chart: Dict[str, List[Tuple[float, float, int]]] = {}
+        for t in self.part2_traces:
+            if t.sed_name and t.solve_started_at is not None:
+                chart.setdefault(t.sed_name, []).append(
+                    (t.solve_started_at, t.solve_ended_at, t.request_id))
+        for spans in chart.values():
+            spans.sort()
+        return chart
+
+    @property
+    def overhead_per_request(self) -> List[float]:
+        """Finding time + service initiation, §5.2's ~70.6 ms figure."""
+        out = []
+        for t in self.part2_traces:
+            if t.finding_time is None or t.data_sent_at is None:
+                continue
+            init = self.deployment.seds[0].params.service_init_time
+            out.append(t.finding_time + init)
+        return out
+
+
+def synthetic_zoom_centers(n: int, seed: int) -> List[Tuple[float, float, float]]:
+    """Deterministic halo-like centres for MODELED campaigns."""
+    rng = RandomStreams(seed).get("halo-centers")
+    pts = rng.random((n, 3))
+    return [tuple(p) for p in pts]
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Build the §5.1 stack and execute the two-part campaign."""
+    config = config or CampaignConfig()
+    engine = Engine()
+    platform = build_grid5000(
+        engine,
+        cluster_specs=list(config.cluster_specs) if config.cluster_specs else None)
+
+    policy: SchedulerPolicy
+    if config.policy == "random":
+        policy = make_policy("random",
+                             rng=RandomStreams(config.seed).get("policy"))
+    else:
+        policy = make_policy(config.policy)
+
+    deployment = deploy_paper_hierarchy(platform, policy=policy)
+
+    workdir = config.workdir
+    cleanup_dir = None
+    if config.mode is ExecutionMode.REAL and workdir is None:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="ramses-campaign-")
+        workdir = cleanup_dir.name
+    service_config = RamsesServiceConfig(
+        mode=config.mode, perf=RamsesPerfModel(seed=config.seed),
+        workdir=workdir, real_n_steps=config.real_n_steps,
+        real_a_end=config.real_a_end, seed=config.seed)
+    register_ramses_services(deployment, service_config,
+                             with_predictor=config.with_predictor)
+    deployment.launch_all()
+
+    client = deployment.client
+    assert client is not None
+    # The namelist shipped with every request carries the run parameters the
+    # SeDs honour in REAL mode; MODELED mode keeps the production-scale ones.
+    if config.mode is ExecutionMode.REAL:
+        namelist = default_namelist_text(config.resolution,
+                                         config.boxsize_mpc_h,
+                                         a_end=config.real_a_end,
+                                         n_steps=config.real_n_steps)
+    else:
+        namelist = default_namelist_text(config.resolution,
+                                         config.boxsize_mpc_h)
+
+    part1_profile = build_zoom1_profile(namelist, config.resolution,
+                                        config.boxsize_mpc_h)
+    part2_profiles = []
+    outcome: Dict[str, object] = {}
+
+    def campaign():
+        client.initialize({"MA_name": deployment.ma.name})
+        # ---- part 1: the low-resolution full box --------------------------------
+        status1 = yield from client.call(part1_profile)
+        error1, catalog_ref = decode_zoom1(part1_profile)
+        if status1 != 0 or error1 != 0:
+            raise RuntimeError(f"part 1 failed: status={status1} error={error1}")
+
+        # ---- choose zoom targets from the halo catalog ---------------------------
+        centers: List[Tuple[float, float, float]]
+        if (config.mode is ExecutionMode.REAL and catalog_ref is not None
+                and catalog_ref.local_path):
+            from ..galics.catalogs import read_halo_catalog
+            catalog = read_halo_catalog(catalog_ref.local_path)
+            halo_centers = [tuple(h.center) for h in catalog]
+            if not halo_centers:
+                raise RuntimeError("part 1 found no halos to re-simulate")
+            centers = [halo_centers[i % len(halo_centers)]
+                       for i in range(config.n_sub_simulations)]
+        else:
+            centers = synthetic_zoom_centers(config.n_sub_simulations,
+                                             config.seed)
+        outcome["centers"] = centers
+
+        # ---- part 2: the simultaneous sub-simulations ------------------------------
+        requests: List[AsyncRequest] = []
+        for center in centers:
+            profile = build_zoom2_profile(namelist, config.resolution,
+                                          config.boxsize_mpc_h, center,
+                                          config.n_zoom_levels)
+            part2_profiles.append(profile)
+            requests.append(client.call_async(profile))
+        yield from client.wait_all()
+        outcome["statuses"] = [r.process.value for r in requests]
+
+    engine.run_process(campaign())
+    if cleanup_dir is not None:
+        cleanup_dir.cleanup()
+
+    # Collect traces: part 1 is the first trace, part 2 the rest.
+    all_traces = deployment.tracer.all_traces()
+    part1_trace = next(t for t in all_traces if t.service == "ramsesZoom1")
+    part2_traces = [t for t in all_traces if t.service == "ramsesZoom2"]
+    statuses = list(outcome.get("statuses", []))
+    for profile in part2_profiles:
+        result = decode_zoom2(profile)
+        if not result.succeeded:
+            raise RuntimeError(f"sub-simulation failed: error={result.error}")
+    return CampaignResult(config=config, deployment=deployment,
+                          part1_trace=part1_trace, part2_traces=part2_traces,
+                          statuses=statuses,
+                          zoom_centers=list(outcome.get("centers", [])))

@@ -1,0 +1,51 @@
+"""Discrete-event simulation kernel (the Grid'5000 substitute's substrate).
+
+Public surface:
+
+- :class:`Engine`, :class:`Event`, :class:`Process`, :class:`Timeout`,
+  :class:`AnyOf`, :class:`AllOf`, :class:`Interrupt` — the event kernel;
+- :class:`Resource`, :class:`Store`, :class:`Container` — shared resources;
+- :class:`Host`, :class:`Link`, :class:`Network` — the platform graph;
+- :class:`RandomStreams` — deterministic named random streams.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+)
+from .network import Host, Link, Network, NetworkError
+from .resources import Container, Request, Resource, Store
+from .rng import RandomStreams, stable_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Engine",
+    "Event",
+    "Host",
+    "Interrupt",
+    "Link",
+    "Network",
+    "NetworkError",
+    "Process",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "stable_seed",
+]

@@ -1,0 +1,389 @@
+"""Discrete-event simulation kernel.
+
+The kernel follows the classic event-queue / generator-process design
+(similar in spirit to SimPy, reimplemented here so the middleware stack has
+no external runtime dependency):
+
+* an :class:`Engine` owns a priority queue of :class:`Event` objects keyed by
+  ``(time, priority, sequence)``;
+* a :class:`Process` wraps a Python generator; each ``yield``-ed event
+  suspends the process until the event triggers, at which point the process
+  is resumed with the event's value.
+
+All simulated time is a ``float`` in **seconds**.  The kernel is fully
+deterministic: two runs with the same seed and the same process creation
+order produce identical event orderings (ties are broken by a monotonically
+increasing sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]
+
+#: Scheduling priorities.  Lower value == dispatched earlier at equal time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+#: Sentinel meaning "event not yet assigned a value".
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, run with empty queue, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it may be :meth:`succeed`-ed or :meth:`fail`-ed
+    exactly once, after which its callbacks run at the current simulation
+    time.  Processes subscribe by yielding the event.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (or has fired)."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception (re-raised in waiters)."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(False, exception, priority)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, priority: int) -> None:
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = ok
+        self._value = value
+        self._scheduled = True
+        self.engine._schedule(self, delay=0.0, priority=priority)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else ("triggered" if self._scheduled else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None,
+                 priority: int = PRIORITY_NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._scheduled = True
+        engine._schedule(self, delay=delay, priority=priority)
+
+
+class _ConditionEvent(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            # An empty condition is immediately true.
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_fire(ev)
+            else:
+                if ev.callbacks is None:
+                    self._on_fire(ev)
+                else:
+                    ev.callbacks.append(self._on_fire)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev._scheduled and ev.processed}
+
+    def _on_fire(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_ConditionEvent):
+    """Fires as soon as any child event fires (value: dict of fired events)."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class AllOf(_ConditionEvent):
+    """Fires once all child events have fired (value: dict of all values)."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed({ev: ev._value for ev in self.events})
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    A process is itself an :class:`Event` that fires (with the generator's
+    return value) when the generator finishes, so processes can wait on each
+    other simply by yielding the other process.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_interrupts", "_defused")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        self._defused = False
+        # Bootstrap: resume once at the current time.
+        boot = Timeout(engine, 0.0, priority=PRIORITY_URGENT)
+        boot.callbacks.append(self._resume)
+        self._target = boot
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._scheduled
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._scheduled:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        self._interrupts.append(Interrupt(cause))
+        # Detach from the current target and resume immediately.
+        target, self._target = self._target, None
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wake = Timeout(self.engine, 0.0, priority=PRIORITY_URGENT)
+        wake.callbacks.append(self._resume)
+        self._target = wake
+
+    def _resume(self, event: Event) -> None:
+        self.engine._active_process = self
+        try:
+            while True:
+                try:
+                    if self._interrupts:
+                        exc = self._interrupts.pop(0)
+                        next_event = self.generator.throw(exc)
+                    elif event._ok:
+                        next_event = self.generator.send(event._value)
+                    else:
+                        next_event = self.generator.throw(event._value)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    # Unhandled in-process exception: fail the process event;
+                    # if nobody is watching, escalate at dispatch time.
+                    self.fail(exc)
+                    return
+                if not isinstance(next_event, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded {next_event!r}, not an Event")
+                if next_event.processed:
+                    # Already fired: loop around synchronously.
+                    event = next_event
+                    continue
+                self._target = next_event
+                if next_event.callbacks is None:
+                    raise SimulationError("cannot wait on a processed event")
+                next_event.callbacks.append(self._resume)
+                return
+        finally:
+            self.engine._active_process = None
+
+
+class Engine:
+    """The simulation engine: clock plus event queue."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[tuple] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories --------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, when)
+        had_watchers = bool(event.callbacks)
+        event._run_callbacks()
+        # A failed process with nobody watching it would otherwise vanish
+        # silently; escalate unless explicitly defused.
+        if (isinstance(event, Process) and not event._ok
+                and not had_watchers and not event._defused):
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation time when the run stopped.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return self._now
+            self.step()
+        return self._now
+
+    def run_process(self, generator: ProcessGenerator, until: Optional[float] = None) -> Any:
+        """Convenience: spawn ``generator`` and run until it completes.
+
+        Returns the process return value; re-raises its exception on failure.
+        """
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError("process did not finish before the deadline")
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+
+    def defuse(self, process: Process) -> None:
+        """Mark a process so its failure is not escalated by the kernel."""
+        process._defused = True  # type: ignore[attr-defined]

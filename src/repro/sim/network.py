@@ -1,0 +1,206 @@
+"""Network model: hosts, links, routes and timed data transfers.
+
+The model is the standard latency + bandwidth one used by grid simulators
+(SimGrid's simple LV08-style model without cross-traffic):
+
+    transfer_time(route, size) = sum(link.latency) + size / min(link.bandwidth)
+
+Optionally each link can enforce *serialization* (``Link(shared=True)``): a
+link then processes at most ``max_concurrent`` flows at a time and further
+flows queue FIFO.  The Grid'5000 reproduction uses non-shared links — the
+paper's transfers (namelists, tarballs) are small compared to RENATER
+capacity — but tests exercise both modes.
+
+The topology is a graph of :class:`Host` objects; routing is shortest-path
+by latency, computed once and cached (the reproduction topologies are small
+and static).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from .engine import Engine, Event
+from .resources import Resource
+
+__all__ = ["Host", "Link", "Network", "NetworkError"]
+
+
+class NetworkError(RuntimeError):
+    """Raised for routing errors (unknown host, unreachable destination)."""
+
+
+class Host:
+    """A machine (or an entry point of a cluster) attached to the network.
+
+    ``speed`` is the relative compute speed used by cost models: a workload
+    of ``w`` normalized operations takes ``w / speed`` seconds of CPU time.
+    ``cores`` bounds concurrent compute tasks via the ``cpu`` resource.
+    """
+
+    def __init__(self, engine: Engine, name: str, speed: float = 1.0,
+                 cores: int = 1, properties: Optional[Dict[str, Any]] = None):
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self.engine = engine
+        self.name = name
+        self.speed = float(speed)
+        self.cores = cores
+        self.cpu = Resource(engine, capacity=cores)
+        self.properties: Dict[str, Any] = dict(properties or {})
+
+    def compute_time(self, work: float) -> float:
+        """Seconds needed for ``work`` normalized operations on this host."""
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        return work / self.speed
+
+    def execute(self, work: float) -> Generator[Event, Any, None]:
+        """Process helper: occupy one core for the duration of ``work``."""
+        req = yield from self.cpu.acquire()
+        try:
+            yield self.engine.timeout(self.compute_time(work))
+        finally:
+            self.cpu.release(req)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r}, speed={self.speed})"
+
+
+class Link:
+    """A network link with latency (s) and bandwidth (bytes/s)."""
+
+    def __init__(self, engine: Engine, name: str, latency: float,
+                 bandwidth: float, shared: bool = False, max_concurrent: int = 1):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.engine = engine
+        self.name = name
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.shared = shared
+        self._slot = Resource(engine, capacity=max_concurrent) if shared else None
+
+    def __repr__(self) -> str:
+        return (f"Link({self.name!r}, lat={self.latency * 1e3:.3f}ms, "
+                f"bw={self.bandwidth / 1e6:.1f}MB/s)")
+
+
+class Network:
+    """A static topology of hosts and links with cached shortest-path routes."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._hosts: Dict[str, Host] = {}
+        self._adj: Dict[str, List[Tuple[str, Link]]] = {}
+        self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
+
+    # -- topology construction ------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self._hosts:
+            raise NetworkError(f"duplicate host {host.name!r}")
+        self._hosts[host.name] = host
+        self._adj[host.name] = []
+        return host
+
+    def host(self, engine_name: str) -> Host:
+        try:
+            return self._hosts[engine_name]
+        except KeyError:
+            raise NetworkError(f"unknown host {engine_name!r}") from None
+
+    @property
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    def connect(self, a: str, b: str, link: Link) -> Link:
+        """Attach a bidirectional link between hosts ``a`` and ``b``."""
+        for name in (a, b):
+            if name not in self._hosts:
+                raise NetworkError(f"unknown host {name!r}")
+        self._adj[a].append((b, link))
+        self._adj[b].append((a, link))
+        self._route_cache.clear()
+        return link
+
+    # -- routing ----------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Latency-shortest path between two hosts (cached)."""
+        if src == dst:
+            return []
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src not in self._hosts or dst not in self._hosts:
+            raise NetworkError(f"unknown endpoint in route {src!r} -> {dst!r}")
+        # Dijkstra by cumulative latency.
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, Tuple[str, Link]] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        visited = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for neigh, link in self._adj[node]:
+                nd = d + link.latency
+                if nd < dist.get(neigh, math.inf):
+                    dist[neigh] = nd
+                    prev[neigh] = (node, link)
+                    heapq.heappush(heap, (nd, neigh))
+        if dst not in prev and dst != src:
+            raise NetworkError(f"no route from {src!r} to {dst!r}")
+        path: List[Link] = []
+        node = dst
+        while node != src:
+            pnode, link = prev[node]
+            path.append(link)
+            node = pnode
+        path.reverse()
+        self._route_cache[key] = path
+        # Symmetric topology: cache the reverse too.
+        self._route_cache[(dst, src)] = list(reversed(path))
+        return path
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Analytic transfer duration (ignores link sharing queues)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        links = self.route(src, dst)
+        if not links:
+            return 0.0
+        latency = sum(l.latency for l in links)
+        bottleneck = min(l.bandwidth for l in links)
+        return latency + nbytes / bottleneck
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> Generator[Event, Any, float]:
+        """Process helper: perform a timed transfer, honouring shared links.
+
+        Returns the transfer duration actually experienced.
+        """
+        start = self.engine.now
+        links = self.route(src, dst)
+        if not links:
+            return 0.0
+        claims = []
+        try:
+            for link in links:
+                if link._slot is not None:
+                    req = yield from link._slot.acquire()
+                    claims.append((link, req))
+            yield self.engine.timeout(
+                sum(l.latency for l in links) + nbytes / min(l.bandwidth for l in links))
+        finally:
+            for link, req in claims:
+                link._slot.release(req)
+        return self.engine.now - start

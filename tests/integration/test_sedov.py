@@ -1,0 +1,69 @@
+"""Sedov-Taylor blast wave: the hydro solver's self-similar scaling check.
+
+A point energy release in a cold uniform medium drives a spherical shock
+with R(t) ~ (E t^2 / rho)^(1/5).  After the initialization transient (the
+injection region has finite size), successive shock radii must follow the
+t^(2/5) law; the shock shell must stay spherical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ramses.hydro import HydroSolver, HydroState
+
+
+@pytest.fixture(scope="module")
+def blast():
+    n = 48
+    rho = np.ones((n, n, n))
+    p = np.full((n, n, n), 1e-5)
+    c = n // 2
+    p[c - 1:c + 1, c - 1:c + 1, c - 1:c + 1] = 100.0
+    state = HydroState.from_primitive(rho, np.zeros((n, n, n, 3)), p)
+    solver = HydroSolver(cfl=0.4)
+
+    x = (np.arange(n) + 0.5) / n
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    r = np.sqrt((X - 0.5) ** 2 + (Y - 0.5) ** 2 + (Z - 0.5) ** 2)
+
+    def shock_radius(s):
+        mask = s.rho > 1.2
+        return float(r[mask].max()) if mask.any() else 0.0
+
+    radii = {}
+    t_cur = 0.0
+    for t in (0.05, 0.1):
+        solver.run(state, t - t_cur)
+        t_cur = t
+        radii[t] = shock_radius(state)
+    return state, r, radii
+
+
+class TestSedov:
+    def test_shock_expands(self, blast):
+        _, _, radii = blast
+        assert 0 < radii[0.05] < radii[0.1] < 0.5
+
+    def test_sedov_taylor_scaling(self, blast):
+        """R(t2)/R(t1) == (t2/t1)^(2/5) past the transient."""
+        _, _, radii = blast
+        measured = radii[0.1] / radii[0.05]
+        expected = (0.1 / 0.05) ** 0.4
+        assert measured == pytest.approx(expected, rel=0.08)
+
+    def test_shell_is_spherical(self, blast):
+        state, r, _ = blast
+        mask = state.rho > 1.2
+        shell_r = r[mask]
+        # octant symmetry: mean radius identical under axis flips
+        assert (shell_r.max() - shell_r.min()) / shell_r.mean() < 0.6
+        com = np.array([r_ax[mask].mean() for r_ax in
+                        np.meshgrid(*( [ (np.arange(48)+0.5)/48 ]*3 ),
+                                    indexing="ij")])
+        assert np.allclose(com, 0.5, atol=0.02)
+
+    def test_interior_evacuated(self, blast):
+        """Sedov blasts sweep mass into the shell: centre density drops."""
+        state, r, _ = blast
+        centre = state.rho[22:26, 22:26, 22:26].mean()
+        assert centre < 0.9

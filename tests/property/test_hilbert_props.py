@@ -1,0 +1,61 @@
+"""Property-based tests for the Peano-Hilbert curve."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ramses import hilbert_decode, hilbert_encode
+
+levels = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def coords_at_level(draw):
+    level = draw(levels)
+    n = 1 << level
+    size = draw(st.integers(min_value=1, max_value=64))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 31)))
+    return level, (rng.integers(0, n, size), rng.integers(0, n, size),
+                   rng.integers(0, n, size))
+
+
+@given(coords_at_level())
+@settings(max_examples=60, deadline=None)
+def test_encode_decode_roundtrip(case):
+    level, (ix, iy, iz) = case
+    jx, jy, jz = hilbert_decode(hilbert_encode(ix, iy, iz, level), level)
+    assert np.array_equal(ix, jx)
+    assert np.array_equal(iy, jy)
+    assert np.array_equal(iz, jz)
+
+
+@given(coords_at_level())
+@settings(max_examples=60, deadline=None)
+def test_keys_in_range(case):
+    level, (ix, iy, iz) = case
+    keys = hilbert_encode(ix, iy, iz, level)
+    assert np.all(keys >= 0)
+    assert np.all(keys < np.int64(1) << np.int64(3 * level))
+
+
+@given(levels.filter(lambda l: l <= 5),
+       st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=30, deadline=None)
+def test_consecutive_keys_adjacent_cells(level, seed):
+    """Hilbert locality: |key_i+1 - key_i| == 1 => cells share a face."""
+    rng = np.random.default_rng(seed)
+    n_keys = (1 << level) ** 3
+    start = int(rng.integers(0, max(n_keys - 64, 1)))
+    keys = np.arange(start, min(start + 64, n_keys), dtype=np.int64)
+    x, y, z = hilbert_decode(keys, level)
+    manhattan = np.abs(np.diff(x)) + np.abs(np.diff(y)) + np.abs(np.diff(z))
+    assert np.all(manhattan == 1)
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=4, deadline=None)
+def test_bijection_small_levels(level):
+    n = 1 << level
+    g = np.meshgrid(np.arange(n), np.arange(n), np.arange(n), indexing="ij")
+    keys = hilbert_encode(g[0].ravel(), g[1].ravel(), g[2].ravel(), level)
+    assert len(np.unique(keys)) == n ** 3

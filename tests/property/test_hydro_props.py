@@ -1,0 +1,71 @@
+"""Property-based tests for the finite-volume Euler solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ramses.hydro import HydroSolver, HydroState
+
+
+@st.composite
+def random_states(draw):
+    seed = draw(st.integers(0, 2 ** 31))
+    n = draw(st.sampled_from([6, 8, 10]))
+    gamma = draw(st.sampled_from([1.4, 5.0 / 3.0]))
+    rng = np.random.default_rng(seed)
+    rho = 0.5 + rng.random((n, n, n))
+    vel = 0.3 * rng.standard_normal((n, n, n, 3))
+    p = 0.2 + rng.random((n, n, n))
+    return HydroState.from_primitive(rho, vel, p, gamma)
+
+
+@given(random_states(), st.floats(min_value=0.01, max_value=0.2))
+@settings(max_examples=25, deadline=None)
+def test_exact_conservation_for_any_state(state, t_end):
+    m0, p0, e0 = state.totals()
+    HydroSolver().run(state, t_end)
+    m1, p1, e1 = state.totals()
+    scale = abs(e0) + 1.0
+    assert m1 == pytest.approx(m0, abs=1e-9 * scale)
+    assert e1 == pytest.approx(e0, abs=1e-8 * scale)
+    assert np.allclose(p1, p0, atol=1e-9 * scale)
+
+
+@given(random_states())
+@settings(max_examples=25, deadline=None)
+def test_positivity_for_any_state(state):
+    HydroSolver().run(state, 0.15)
+    assert np.all(state.rho > 0)
+    assert np.all(state.pressure() > 0)
+    assert np.all(np.isfinite(state.energy))
+
+
+@given(random_states())
+@settings(max_examples=15, deadline=None)
+def test_cfl_dt_positive_and_stable(state):
+    solver = HydroSolver(cfl=0.4)
+    dx = 1.0 / state.rho.shape[0]
+    dt = solver.max_dt(state, dx)
+    assert 0 < dt < 1.0
+    before = state.rho.copy()
+    solver.step(state, dt, dx)
+    # a single CFL step never blows the density up catastrophically
+    assert state.rho.max() < 10 * before.max()
+
+
+@given(st.integers(0, 2 ** 31), st.sampled_from([1.4, 5.0 / 3.0]))
+@settings(max_examples=15, deadline=None)
+def test_symmetry_mirror(seed, gamma):
+    """Mirror-symmetric initial data stays mirror-symmetric."""
+    n = 8
+    rng = np.random.default_rng(seed)
+    half = 0.5 + rng.random((n // 2, n, n))
+    rho = np.concatenate([half, half[::-1]], axis=0)
+    p = np.ones((n, n, n))
+    state = HydroState.from_primitive(rho, np.zeros((n, n, n, 3)), p, gamma)
+    HydroSolver().run(state, 0.05)
+    assert np.allclose(state.rho, state.rho[::-1], atol=1e-10)
+    # x-momentum is antisymmetric under the mirror
+    assert np.allclose(state.mom[..., 0], -state.mom[::-1, ..., 0],
+                       atol=1e-10)

@@ -1,0 +1,63 @@
+"""Property-based tests for initial-condition generation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grafic import make_multi_level_ic, make_single_level_ic
+from repro.ramses import EDS, LCDM_WMAP
+
+
+@given(st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0),
+                 st.floats(0.0, 1.0)),
+       st.floats(min_value=0.05, max_value=0.45),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=0, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_multi_level_mass_exactly_one(center, half, n_levels, seed):
+    """Total mass == 1 for any zoom geometry (parent-cell alignment)."""
+    ic = make_multi_level_ic(8, 50.0, EDS, center, n_levels=n_levels,
+                             region_half_size=half, a_start=0.05, seed=seed)
+    assert ic.particles.total_mass == pytest.approx(1.0, abs=1e-12)
+    ic.particles.validate()
+
+
+@given(st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0),
+                 st.floats(0.0, 1.0)),
+       st.floats(min_value=0.05, max_value=0.4),
+       st.integers(min_value=1, max_value=2),
+       st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_multi_level_mass_hierarchy(center, half, n_levels, seed):
+    """Each level's particle mass is 8x lighter than its parent's, and the
+    finest species is present whenever the region is non-degenerate."""
+    ic = make_multi_level_ic(8, 50.0, EDS, center, n_levels=n_levels,
+                             region_half_size=half, a_start=0.05, seed=seed)
+    parts = ic.particles
+    levels = np.unique(parts.level)
+    for lo, hi in zip(levels[:-1], levels[1:]):
+        m_lo = parts.mass[parts.level == lo].max()
+        m_hi = parts.mass[parts.level == hi].max()
+        assert m_lo / m_hi == pytest.approx(8.0 ** (hi - lo), rel=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=200),
+       st.floats(min_value=0.02, max_value=0.3))
+@settings(max_examples=20, deadline=None)
+def test_single_level_momentum_centre_of_mass(seed, a_start):
+    """Zel'dovich ICs carry (numerically) zero net momentum: psi is a
+    gradient field with no k=0 mode."""
+    ic = make_single_level_ic(8, 100.0, LCDM_WMAP, a_start=a_start, seed=seed)
+    net = np.abs((ic.particles.p * ic.particles.mass[:, None]).sum(axis=0))
+    typical = np.abs(ic.particles.p).mean() + 1e-30
+    assert np.all(net < 1e-8 * typical * len(ic.particles) + 1e-20)
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_single_level_deterministic(seed):
+    a = make_single_level_ic(8, 100.0, EDS, a_start=0.1, seed=seed)
+    b = make_single_level_ic(8, 100.0, EDS, a_start=0.1, seed=seed)
+    assert np.array_equal(a.particles.x, b.particles.x)
+    assert np.array_equal(a.particles.p, b.particles.p)

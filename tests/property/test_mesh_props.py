@@ -1,0 +1,97 @@
+"""Property-based tests for CIC and the Poisson solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ramses import cic_deposit, cic_interpolate, poisson_solve
+from repro.ramses.poisson import gradient_spectral
+
+
+@st.composite
+def particle_clouds(draw):
+    seed = draw(st.integers(0, 2 ** 31))
+    n_particles = draw(st.integers(1, 500))
+    n_grid = draw(st.sampled_from([4, 8, 16]))
+    rng = np.random.default_rng(seed)
+    x = rng.random((n_particles, 3))
+    mass = rng.exponential(1.0, n_particles) + 1e-12
+    return x, mass, n_grid
+
+
+@given(particle_clouds())
+@settings(max_examples=60, deadline=None)
+def test_cic_conserves_mass(cloud):
+    x, mass, n = cloud
+    grid = cic_deposit(x, mass, n)
+    assert grid.sum() == pytest.approx(mass.sum(), rel=1e-10)
+    assert np.all(grid >= 0)
+
+
+@given(particle_clouds())
+@settings(max_examples=40, deadline=None)
+def test_cic_gather_scatter_adjoint(cloud):
+    """<f, deposit(m)> == <interp(f), m> for random fields: the adjoint
+    identity that makes the PM force momentum-conserving."""
+    x, mass, n = cloud
+    rng = np.random.default_rng(123)
+    field = rng.standard_normal((n, n, n))
+    lhs = np.sum(field * cic_deposit(x, mass, n))
+    rhs = np.sum(mass * cic_interpolate(field, x))
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-12)
+
+
+@given(particle_clouds())
+@settings(max_examples=40, deadline=None)
+def test_cic_interpolation_bounded(cloud):
+    """CIC is a convex combination: interpolated values stay in range."""
+    x, _, n = cloud
+    rng = np.random.default_rng(7)
+    field = rng.random((n, n, n))
+    vals = cic_interpolate(field, x)
+    assert np.all(vals >= field.min() - 1e-12)
+    assert np.all(vals <= field.max() + 1e-12)
+
+
+@given(st.integers(0, 2 ** 31), st.sampled_from([8, 16]))
+@settings(max_examples=30, deadline=None)
+def test_poisson_solution_is_zero_mean_and_finite(seed, n):
+    rng = np.random.default_rng(seed)
+    src = rng.standard_normal((n, n, n))
+    phi = poisson_solve(src)
+    assert np.all(np.isfinite(phi))
+    assert abs(phi.mean()) < 1e-12
+
+
+@given(st.integers(0, 2 ** 31), st.sampled_from([8, 16]),
+       st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=30, deadline=None)
+def test_poisson_linearity(seed, n, scale):
+    rng = np.random.default_rng(seed)
+    src = rng.standard_normal((n, n, n))
+    assert np.allclose(poisson_solve(src * scale), poisson_solve(src) * scale,
+                       rtol=1e-10, atol=1e-12)
+
+
+@given(st.integers(0, 2 ** 31), st.sampled_from([8, 16]))
+@settings(max_examples=20, deadline=None)
+def test_gradient_of_sum_is_sum_of_gradients(seed, n):
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal((n, n, n))
+    g = rng.standard_normal((n, n, n))
+    assert np.allclose(gradient_spectral(f + g),
+                       gradient_spectral(f) + gradient_spectral(g),
+                       atol=1e-10)
+
+
+@given(st.integers(0, 2 ** 31), st.sampled_from([8, 16]))
+@settings(max_examples=20, deadline=None)
+def test_grid_force_sums_to_zero(seed, n):
+    """Momentum conservation on the grid for arbitrary sources."""
+    from repro.ramses import acceleration_from_source
+    rng = np.random.default_rng(seed)
+    src = rng.standard_normal((n, n, n))
+    _, acc = acceleration_from_source(src)
+    total = acc.sum(axis=(0, 1, 2))
+    assert np.all(np.abs(total) < 1e-8 * np.abs(acc).max() * n ** 3 + 1e-12)

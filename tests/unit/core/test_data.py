@@ -1,0 +1,127 @@
+"""Unit tests for the DIET data model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArgDesc,
+    BaseType,
+    CompositeType,
+    DataError,
+    DietArg,
+    Direction,
+    FileRef,
+    PersistenceMode,
+    ProfileError,
+    file_desc,
+    matrix_desc,
+    scalar_desc,
+    sizeof_value,
+    string_desc,
+    vector_desc,
+)
+
+
+class TestBaseTypes:
+    def test_c_names(self):
+        assert BaseType.INT.cname == "DIET_INT"
+        assert BaseType.DOUBLE.cname == "DIET_DOUBLE"
+
+    def test_byte_sizes(self):
+        assert BaseType.CHAR.nbytes == 1
+        assert BaseType.INT.nbytes == 4
+        assert BaseType.DOUBLE.nbytes == 8
+
+
+class TestPersistence:
+    def test_volatile_does_not_keep_server_copy(self):
+        assert not PersistenceMode.VOLATILE.keeps_server_copy
+        assert PersistenceMode.PERSISTENT.keeps_server_copy
+
+    def test_return_variants(self):
+        assert PersistenceMode.VOLATILE.returns_to_client
+        assert PersistenceMode.PERSISTENT_RETURN.returns_to_client
+        assert not PersistenceMode.PERSISTENT.returns_to_client
+        assert not PersistenceMode.STICKY.returns_to_client
+
+
+class TestSizeof:
+    def test_scalar(self):
+        assert sizeof_value(CompositeType.SCALAR, BaseType.INT, 5) == 4
+        assert sizeof_value(CompositeType.SCALAR, BaseType.DOUBLE, 1.5) == 8
+
+    def test_string_includes_nul(self):
+        assert sizeof_value(CompositeType.STRING, BaseType.CHAR, "abc") == 4
+
+    def test_vector_and_matrix(self):
+        v = np.zeros(10)
+        assert sizeof_value(CompositeType.VECTOR, BaseType.DOUBLE, v) == 80
+        m = np.zeros((3, 4), dtype=np.float32)
+        assert sizeof_value(CompositeType.MATRIX, BaseType.FLOAT, m) == 48
+
+    def test_file_ref(self):
+        ref = FileRef("out.tar.gz", nbytes=12345)
+        assert sizeof_value(CompositeType.FILE, BaseType.CHAR, ref) == 12345
+
+    def test_file_tuple(self):
+        assert sizeof_value(CompositeType.FILE, BaseType.CHAR, ("p", 99)) == 99
+
+    def test_file_bad_value_raises(self):
+        with pytest.raises(DataError):
+            sizeof_value(CompositeType.FILE, BaseType.CHAR, "just-a-path")
+
+    def test_none_is_empty(self):
+        assert sizeof_value(CompositeType.FILE, BaseType.CHAR, None) == 0
+
+
+class TestFileRef:
+    def test_negative_size_rejected(self):
+        with pytest.raises(DataError):
+            FileRef("f", nbytes=-1)
+
+    def test_frozen(self):
+        ref = FileRef("f", nbytes=1)
+        with pytest.raises(Exception):
+            ref.nbytes = 2
+
+
+class TestDietArg:
+    def test_get_before_set_raises(self):
+        arg = DietArg()
+        with pytest.raises(DataError):
+            arg.get()
+
+    def test_set_get_roundtrip(self):
+        arg = DietArg(desc=scalar_desc(BaseType.INT))
+        arg.set(41)
+        assert arg.get() == 41
+        assert arg.nbytes == 4
+
+    def test_out_declared_null_is_valid_for_submit(self):
+        arg = DietArg(desc=file_desc(), direction=Direction.OUT)
+        arg.set(None)   # §4.3.1: OUT declared with NULL value
+        arg.validate_for_submit()
+        assert arg.nbytes == 0
+
+    def test_in_unset_fails_submit(self):
+        arg = DietArg(direction=Direction.IN)
+        with pytest.raises(ProfileError):
+            arg.validate_for_submit()
+
+    def test_out_undeclared_fails_submit(self):
+        arg = DietArg(direction=Direction.OUT)
+        with pytest.raises(ProfileError):
+            arg.validate_for_submit()
+
+
+class TestDescConstructors:
+    def test_constructors_set_composites(self):
+        assert scalar_desc().composite is CompositeType.SCALAR
+        assert vector_desc().composite is CompositeType.VECTOR
+        assert matrix_desc().composite is CompositeType.MATRIX
+        assert string_desc().composite is CompositeType.STRING
+        assert file_desc().composite is CompositeType.FILE
+
+    def test_describe(self):
+        d = ArgDesc(CompositeType.FILE, BaseType.CHAR, PersistenceMode.VOLATILE)
+        assert d.describe() == "DIET_FILE/DIET_CHAR/DIET_VOLATILE"

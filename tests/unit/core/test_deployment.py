@@ -1,0 +1,100 @@
+"""Unit tests for the GoDIET-like deployment builder."""
+
+import pytest
+
+from repro.core import (
+    BaseType,
+    DietError,
+    MCTPolicy,
+    ProfileDesc,
+    SeDParams,
+    TransportParams,
+    deploy_paper_hierarchy,
+    scalar_desc,
+)
+from repro.platform import build_grid5000
+from repro.sim import Engine
+
+
+@pytest.fixture
+def platform():
+    return build_grid5000(Engine())
+
+
+class TestPaperHierarchy:
+    def test_structure(self, platform):
+        dep = deploy_paper_hierarchy(platform)
+        assert dep.ma.name == "MA"
+        assert len(dep.local_agents) == 6       # one LA per cluster
+        assert len(dep.seds) == 11              # the paper's SeD count
+        assert dep.client is not None
+
+    def test_ma_children_are_the_las(self, platform):
+        dep = deploy_paper_hierarchy(platform)
+        assert sorted(dep.ma.children) == sorted(la.name for la in dep.local_agents)
+
+    def test_las_own_their_cluster_seds(self, platform):
+        dep = deploy_paper_hierarchy(platform)
+        for la in dep.local_agents:
+            cluster = la.name.removeprefix("LA-")
+            for child in la.children:
+                assert cluster in child
+
+    def test_seds_have_nfs(self, platform):
+        dep = deploy_paper_hierarchy(platform)
+        for sed in dep.seds:
+            assert sed.nfs is not None
+            assert sed.nfs.is_mounted_on(sed.host.name)
+
+    def test_policy_override(self, platform):
+        dep = deploy_paper_hierarchy(platform, policy=MCTPolicy())
+        assert isinstance(dep.ma.policy, MCTPolicy)
+
+    def test_params_propagate(self, platform):
+        dep = deploy_paper_hierarchy(
+            platform,
+            sed_params=SeDParams(service_init_time=0.5),
+            transport_params=TransportParams(marshal_fixed=9e-3))
+        assert dep.seds[0].params.service_init_time == 0.5
+        assert dep.fabric.params.marshal_fixed == 9e-3
+
+    def test_without_client(self, platform):
+        dep = deploy_paper_hierarchy(platform, with_client=False)
+        assert dep.client is None
+
+    def test_sed_lookup(self, platform):
+        dep = deploy_paper_hierarchy(platform)
+        name = dep.sed_names[0]
+        assert dep.sed_by_name(name).name == name
+        with pytest.raises(DietError):
+            dep.sed_by_name("SeD-ghost")
+
+    def test_cluster_of_sed(self, platform):
+        dep = deploy_paper_hierarchy(platform)
+        assert dep.cluster_of_sed("SeD-nancy-grillon-sed0") == "nancy-grillon"
+
+    def test_launch_all_serves(self, platform):
+        dep = deploy_paper_hierarchy(platform)
+        desc = ProfileDesc("t", 0, 0, 1)
+        desc.set_arg(0, scalar_desc(BaseType.INT))
+        desc.set_arg(1, scalar_desc(BaseType.INT))
+
+        def solve(profile, ctx):
+            yield from ctx.execute(0.1)
+            profile.parameter(1).set(1)
+            return 0
+
+        for sed in dep.seds:
+            sed.add_service(desc, solve)
+        dep.launch_all()
+
+        client = dep.client
+        profile = desc.instantiate()
+        profile.parameter(0).set(1)
+        profile.parameter(1).set(None)
+
+        def run():
+            client.initialize({"MA_name": "MA"})
+            return (yield from client.call(profile))
+
+        assert dep.engine.run_process(run()) == 0

@@ -1,0 +1,173 @@
+"""Unit tests for GoDIET-style XML deployment descriptions."""
+
+import pytest
+
+from repro.core import BaseType, DietError, ProfileDesc, scalar_desc
+from repro.core.godiet import (
+    AgentSpec,
+    HierarchySpec,
+    SedSpec,
+    deploy_from_spec,
+    paper_hierarchy_spec,
+    parse_godiet_xml,
+    render_godiet_xml,
+)
+from repro.platform import build_grid5000
+from repro.sim import Engine
+
+
+SAMPLE = """
+<diet_configuration>
+  <client host="lyon-ma"/>
+  <master_agent name="MA" host="lyon-ma">
+    <local_agent name="LA-a" host="lyon-capricorne-frontend">
+      <sed name="SeD-1" host="lyon-capricorne-sed0"/>
+      <sed name="SeD-2" host="lyon-capricorne-sed1"/>
+    </local_agent>
+    <local_agent name="LA-b" host="nancy-grillon-frontend">
+      <local_agent name="LA-b-deep" host="nancy-grillon-frontend"/>
+      <sed name="SeD-3" host="nancy-grillon-sed0"/>
+    </local_agent>
+  </master_agent>
+</diet_configuration>
+"""
+
+
+class TestParse:
+    def test_parse_structure(self):
+        spec = parse_godiet_xml(SAMPLE)
+        assert spec.master.name == "MA"
+        assert [c.name for c in spec.master.children] == ["LA-a", "LA-b"]
+        assert [s.name for s in spec.master.all_seds()] == ["SeD-1", "SeD-2",
+                                                            "SeD-3"]
+        assert spec.client_host == "lyon-ma"
+        # nested LA supported
+        assert spec.master.children[1].children[0].name == "LA-b-deep"
+
+    def test_roundtrip(self):
+        spec = parse_godiet_xml(SAMPLE)
+        again = parse_godiet_xml(render_godiet_xml(spec))
+        assert [a.name for a in again.master.all_agents()] == \
+            [a.name for a in spec.master.all_agents()]
+        assert [s.name for s in again.master.all_seds()] == \
+            [s.name for s in spec.master.all_seds()]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DietError, match="malformed"):
+            parse_godiet_xml("<diet_configuration>")
+        with pytest.raises(DietError, match="root element"):
+            parse_godiet_xml("<wrong/>")
+        with pytest.raises(DietError, match="master_agent"):
+            parse_godiet_xml("<diet_configuration/>")
+
+    def test_missing_attributes_rejected(self):
+        with pytest.raises(DietError, match="name"):
+            parse_godiet_xml(
+                "<diet_configuration><master_agent host='h'/>"
+                "</diet_configuration>")
+
+    def test_duplicate_names_rejected(self):
+        spec = HierarchySpec(master=AgentSpec(
+            name="MA", host="h",
+            seds=[SedSpec("X", "h1"), SedSpec("X", "h2")]))
+        with pytest.raises(DietError, match="duplicate"):
+            spec.validate()
+
+    def test_empty_hierarchy_rejected(self):
+        spec = HierarchySpec(master=AgentSpec(name="MA", host="h"))
+        with pytest.raises(DietError, match="no SeD"):
+            spec.validate()
+
+
+class TestDeploy:
+    def test_paper_spec_matches_builtin_deployment(self):
+        platform = build_grid5000(Engine())
+        spec = paper_hierarchy_spec(platform)
+        assert len(spec.master.children) == 6
+        assert len(spec.master.all_seds()) == 11
+
+    def test_deploy_from_xml_end_to_end(self):
+        engine = Engine()
+        platform = build_grid5000(engine)
+        spec = parse_godiet_xml(render_godiet_xml(
+            paper_hierarchy_spec(platform)))
+        deployment = deploy_from_spec(platform, spec)
+        assert len(deployment.seds) == 11
+        assert len(deployment.local_agents) == 6
+
+        desc = ProfileDesc("svc", 0, 0, 1)
+        desc.set_arg(0, scalar_desc(BaseType.INT))
+        desc.set_arg(1, scalar_desc(BaseType.INT))
+
+        def solve(profile, ctx):
+            yield from ctx.execute(0.1)
+            profile.parameter(1).set(profile.parameter(0).get() * 3)
+            return 0
+
+        for sed in deployment.seds:
+            sed.add_service(desc, solve)
+        deployment.launch_all()
+
+        client = deployment.client
+        profile = desc.instantiate()
+        profile.parameter(0).set(14)
+        profile.parameter(1).set(None)
+
+        def run():
+            client.initialize({"MA_name": "MA"})
+            return (yield from client.call(profile))
+
+        assert engine.run_process(run()) == 0
+        assert profile.parameter(1).get() == 42
+
+    def test_unknown_host_rejected(self):
+        platform = build_grid5000(Engine())
+        spec = HierarchySpec(master=AgentSpec(
+            name="MA", host="no-such-host",
+            seds=[SedSpec("S", "also-missing")]))
+        with pytest.raises(Exception):
+            deploy_from_spec(platform, spec)
+
+    def test_deep_hierarchy_routes_requests(self):
+        """A 3-level hierarchy (MA -> LA -> LA -> SeD) still schedules."""
+        engine = Engine()
+        platform = build_grid5000(engine)
+        inner = AgentSpec(name="LA-inner",
+                          host="nancy-grillon-frontend",
+                          seds=[SedSpec("SeD-deep", "nancy-grillon-sed0")])
+        spec = HierarchySpec(
+            master=AgentSpec(name="MA", host="lyon-ma",
+                             children=[AgentSpec(
+                                 name="LA-outer",
+                                 host="nancy-grillon-frontend",
+                                 children=[inner])]),
+            client_host="lyon-ma")
+        deployment = deploy_from_spec(platform, spec)
+
+        desc = ProfileDesc("svc", 0, 0, 1)
+        desc.set_arg(0, scalar_desc(BaseType.INT))
+        desc.set_arg(1, scalar_desc(BaseType.INT))
+
+        def solve(profile, ctx):
+            yield from ctx.execute(0.1)
+            profile.parameter(1).set(1)
+            return 0
+
+        deployment.seds[0].add_service(desc, solve)
+        deployment.launch_all()
+
+        client = deployment.client
+        profile = desc.instantiate()
+        profile.parameter(0).set(0)
+        profile.parameter(1).set(None)
+        servers = []
+
+        def run():
+            client.initialize({"MA_name": "MA"})
+            handle = client.function_handle("svc")
+            status = yield from client.call(profile, handle)
+            servers.append(handle.server)
+            return status
+
+        assert engine.run_process(run()) == 0
+        assert servers == ["SeD-deep"]

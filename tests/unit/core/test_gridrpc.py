@@ -1,0 +1,93 @@
+"""Unit tests for the GridRPC facade (§4.3.1: grpc_* mirrors diet_*)."""
+
+import pytest
+
+from repro.core import BaseType, ProfileDesc, deploy_paper_hierarchy, scalar_desc
+from repro.core.gridrpc import (
+    grpc_call,
+    grpc_call_async,
+    grpc_finalize,
+    grpc_function_handle_default,
+    grpc_initialize,
+    grpc_probe,
+    grpc_profile_alloc,
+    grpc_wait,
+    grpc_wait_all,
+)
+from repro.core.exceptions import GRPC_NO_ERROR, NotCompletedError
+from repro.platform import build_grid5000
+from repro.sim import Engine
+
+
+def toy_desc():
+    desc = ProfileDesc("toy", 0, 0, 1)
+    desc.set_arg(0, scalar_desc(BaseType.INT))
+    desc.set_arg(1, scalar_desc(BaseType.INT))
+    return desc
+
+
+def solve_toy(profile, ctx):
+    yield from ctx.execute(1.0)
+    profile.parameter(1).set(profile.parameter(0).get() * 10)
+    return 0
+
+
+@pytest.fixture
+def deployment():
+    dep = deploy_paper_hierarchy(build_grid5000(Engine()))
+    for sed in dep.seds:
+        sed.add_service(toy_desc(), solve_toy)
+    dep.launch_all()
+    return dep
+
+
+def test_full_gridrpc_session(deployment):
+    """The canonical GridRPC client flow, §4.3.1 structure."""
+    client, engine = deployment.client, deployment.engine
+
+    def main():
+        assert grpc_initialize(client, {"MA_name": "MA"}) == GRPC_NO_ERROR
+        handle = grpc_function_handle_default(client, "toy")
+        profile = grpc_profile_alloc(toy_desc())
+        profile.parameter(0).set(4)
+        profile.parameter(1).set(None)
+        status = yield from grpc_call(client, handle, profile)
+        assert status == 0
+        assert profile.parameter(1).get() == 40
+        assert handle.server is not None
+        assert grpc_finalize(client) == GRPC_NO_ERROR
+
+    engine.run_process(main())
+
+
+def test_async_session(deployment):
+    client, engine = deployment.client, deployment.engine
+
+    def main():
+        grpc_initialize(client, {"MA_name": "MA"})
+        handle = grpc_function_handle_default(client, "toy")
+        profiles = []
+        requests = []
+        for i in range(3):
+            profile = grpc_profile_alloc(toy_desc())
+            profile.parameter(0).set(i)
+            profile.parameter(1).set(None)
+            profiles.append(profile)
+            requests.append(grpc_call_async(client, handle, profile))
+        with pytest.raises(NotCompletedError):
+            grpc_probe(client, requests[0].request_id)
+        status = yield from grpc_wait(requests[0])
+        assert status == 0
+        statuses = yield from grpc_wait_all(client)
+        assert set(statuses.values()) == {0}
+        assert [p.parameter(1).get() for p in profiles] == [0, 10, 20]
+
+    engine.run_process(main())
+
+
+def test_profile_alloc_allocates_all_descriptions(deployment):
+    """§4.3.2: no further allocation is required after profile_alloc."""
+    profile = grpc_profile_alloc(toy_desc())
+    assert len(profile.arguments) == 2
+    for arg in profile.arguments:
+        assert arg.desc is not None

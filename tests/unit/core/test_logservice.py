@@ -1,0 +1,117 @@
+"""Unit tests for the LogService monitoring component."""
+
+import statistics
+
+import pytest
+
+from repro.core import (
+    BaseType,
+    LogCentral,
+    ProfileDesc,
+    deploy_paper_hierarchy,
+    scalar_desc,
+)
+from repro.platform import build_grid5000
+from repro.sim import Engine
+
+
+def toy_desc():
+    desc = ProfileDesc("toy", 0, 0, 1)
+    desc.set_arg(0, scalar_desc(BaseType.INT))
+    desc.set_arg(1, scalar_desc(BaseType.INT))
+    return desc
+
+
+def solve_toy(profile, ctx):
+    yield from ctx.execute(1.0)
+    profile.parameter(1).set(0)
+    return 0
+
+
+def run_requests(deployment, n):
+    client = deployment.client
+
+    def session():
+        client.initialize({"MA_name": "MA"})
+        for i in range(n):
+            p = toy_desc().instantiate()
+            p.parameter(0).set(i)
+            p.parameter(1).set(None)
+            client.call_async(p)
+        yield from client.wait_all()
+
+    deployment.engine.run_process(session())
+    deployment.engine.run()   # drain the fire-and-forget log posts
+
+
+@pytest.fixture
+def monitored():
+    dep = deploy_paper_hierarchy(build_grid5000(Engine()),
+                                 with_log_central=True)
+    for sed in dep.seds:
+        sed.add_service(toy_desc(), solve_toy)
+    dep.launch_all()
+    return dep
+
+
+class TestJournal:
+    def test_events_collected(self, monitored):
+        run_requests(monitored, 6)
+        counts = monitored.log_central.counts_by_kind()
+        assert counts["schedule"] == 6
+        assert counts["solve_start"] == 6
+        assert counts["solve_end"] == 6
+
+    def test_components_identified(self, monitored):
+        run_requests(monitored, 11)
+        components = monitored.log_central.components_seen()
+        assert "MA" in components
+        assert sum(1 for c in components if c.startswith("SeD-")) == 11
+
+    def test_events_carry_payload(self, monitored):
+        run_requests(monitored, 3)
+        ends = monitored.log_central.events(kind="solve_end")
+        assert all(e.info["status"] == 0 for e in ends)
+        assert all(e.info["duration"] > 0 for e in ends)
+        assert all(e.info["service"] == "toy" for e in ends)
+
+    def test_transit_is_network_realistic(self, monitored):
+        run_requests(monitored, 4)
+        # events cross the simulated WAN: transit in the ms range, not zero
+        transit = monitored.log_central.mean_transit()
+        assert 1e-4 < transit < 1.0
+
+    def test_filter_queries(self, monitored):
+        run_requests(monitored, 5)
+        lc = monitored.log_central
+        only_ma = lc.events(component="MA")
+        assert all(e.component == "MA" for e in only_ma)
+        assert lc.events(kind="schedule", component="MA")
+
+    def test_empty_journal_mean_raises(self):
+        dep = deploy_paper_hierarchy(build_grid5000(Engine()),
+                                     with_log_central=True)
+        with pytest.raises(ValueError):
+            dep.log_central.mean_transit()
+
+
+class TestNonIntrusiveness:
+    def test_finding_time_unchanged_by_monitoring(self):
+        """Fire-and-forget posts must not perturb the calibrated 49.8 ms."""
+        def finding_mean(with_logs):
+            dep = deploy_paper_hierarchy(build_grid5000(Engine()),
+                                         with_log_central=with_logs)
+            for sed in dep.seds:
+                sed.add_service(toy_desc(), solve_toy)
+            dep.launch_all()
+            run_requests(dep, 10)
+            return statistics.mean(dep.tracer.finding_times("toy"))
+
+        assert finding_mean(True) == pytest.approx(finding_mean(False),
+                                                   rel=1e-9)
+
+    def test_dead_collector_harmless(self, monitored):
+        """Killing LogCentral mid-run must not break the application."""
+        monitored.fabric.unbind(monitored.log_central.name)
+        run_requests(monitored, 4)   # would raise if posts propagated errors
+        assert len(monitored.tracer.all_traces("toy")) == 4

@@ -1,0 +1,178 @@
+"""Unit tests for profile descriptions and the service table."""
+
+import pytest
+
+from repro.core import (
+    BaseType,
+    Direction,
+    FileRef,
+    PersistenceMode,
+    Profile,
+    ProfileDesc,
+    ProfileError,
+    ServiceNotFoundError,
+    ServiceTable,
+    file_desc,
+    scalar_desc,
+)
+from repro.core.data import ArgDesc
+
+
+def ramses_zoom2_desc():
+    """The paper's diet_profile_desc_alloc("ramsesZoom2", 6, 6, 8)."""
+    desc = ProfileDesc("ramsesZoom2", 6, 6, 8)
+    desc.set_arg(0, file_desc())
+    for i in range(1, 7):
+        desc.set_arg(i, scalar_desc(BaseType.INT))
+    desc.set_arg(7, file_desc())
+    desc.set_arg(8, scalar_desc(BaseType.INT))
+    return desc
+
+
+class TestProfileDesc:
+    def test_paper_profile_layout(self):
+        desc = ramses_zoom2_desc()
+        assert desc.n_args == 9
+        assert [desc.direction(i) for i in range(7)] == [Direction.IN] * 7
+        assert desc.direction(7) is Direction.OUT
+        assert desc.direction(8) is Direction.OUT
+
+    def test_inout_region(self):
+        desc = ProfileDesc("svc", 0, 2, 4)
+        assert desc.direction(0) is Direction.IN
+        assert desc.direction(1) is Direction.INOUT
+        assert desc.direction(2) is Direction.INOUT
+        assert desc.direction(3) is Direction.OUT
+
+    def test_no_in_arguments(self):
+        desc = ProfileDesc("pure-out", -1, -1, 0)
+        assert desc.direction(0) is Direction.OUT
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(ProfileError):
+            ProfileDesc("bad", 3, 2, 5)   # last_inout < last_in
+        with pytest.raises(ProfileError):
+            ProfileDesc("bad", -2, -1, 0)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ProfileError):
+            ProfileDesc("", 0, 0, 0)
+
+    def test_arg_index_bounds(self):
+        desc = ProfileDesc("svc", 0, 0, 1)
+        with pytest.raises(ProfileError):
+            desc.set_arg(2, scalar_desc())
+        with pytest.raises(ProfileError):
+            desc.direction(-1)
+
+    def test_matching(self):
+        assert ramses_zoom2_desc().matches(ramses_zoom2_desc())
+
+    def test_mismatch_on_type(self):
+        a = ramses_zoom2_desc()
+        b = ramses_zoom2_desc()
+        b.set_arg(1, scalar_desc(BaseType.DOUBLE))
+        assert not a.matches(b)
+
+    def test_mismatch_on_name(self):
+        a = ramses_zoom2_desc()
+        b = ramses_zoom2_desc()
+        b.path = "ramsesZoom1"
+        assert not a.matches(b)
+
+    def test_signature_renders(self):
+        sig = ramses_zoom2_desc().signature()
+        assert sig.startswith("ramsesZoom2(")
+        assert "IN:DIET_FILE" in sig and "OUT:DIET_SCALAR" in sig
+
+
+class TestProfile:
+    def test_instantiate_allocates_all_slots(self):
+        profile = ramses_zoom2_desc().instantiate()
+        assert len(profile.arguments) == 9
+        assert profile.parameter(7).direction is Direction.OUT
+
+    def test_parameter_bounds(self):
+        profile = ramses_zoom2_desc().instantiate()
+        with pytest.raises(ProfileError):
+            profile.parameter(9)
+
+    def test_request_and_response_sizes(self):
+        profile = ramses_zoom2_desc().instantiate()
+        profile.parameter(0).set(FileRef("nml", nbytes=2000))
+        for i in range(1, 7):
+            profile.parameter(i).set(i)
+        profile.parameter(7).set(None)
+        profile.parameter(8).set(None)
+        assert profile.request_nbytes() == 2000 + 6 * 4
+        assert profile.response_nbytes() == 0
+        # after the solve fills the OUTs:
+        profile.parameter(7).set(FileRef("results.tgz", nbytes=5_000_000))
+        profile.parameter(8).set(0)
+        assert profile.response_nbytes() == 5_000_000 + 4
+
+    def test_persistent_out_does_not_return(self):
+        desc = ProfileDesc("svc", -1, -1, 0)
+        desc.set_arg(0, ArgDesc(persistence=PersistenceMode.PERSISTENT))
+        profile = desc.instantiate()
+        profile.parameter(0).set(5)
+        assert profile.response_nbytes() == 0
+
+    def test_validate_for_submit_reports_argument_index(self):
+        profile = ramses_zoom2_desc().instantiate()
+        profile.parameter(0).set(FileRef("nml", nbytes=10))
+        with pytest.raises(ProfileError, match="argument 1"):
+            profile.validate_for_submit()
+
+    def test_direction_filters(self):
+        profile = ramses_zoom2_desc().instantiate()
+        assert len(profile.in_args()) == 7
+        assert len(profile.inout_args()) == 0
+        assert len(profile.out_args()) == 2
+
+
+class TestServiceTable:
+    def solve(self, profile, ctx):
+        yield
+        return 0
+
+    def test_add_and_lookup(self):
+        table = ServiceTable()
+        desc = ramses_zoom2_desc()
+        table.add(desc, None, self.solve)
+        found_desc, func = table.lookup("ramsesZoom2")
+        assert found_desc is desc and func == self.solve
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(ServiceNotFoundError):
+            ServiceTable().lookup("nope")
+
+    def test_duplicate_rejected(self):
+        table = ServiceTable()
+        table.add(ramses_zoom2_desc(), None, self.solve)
+        with pytest.raises(ProfileError, match="already registered"):
+            table.add(ramses_zoom2_desc(), None, self.solve)
+
+    def test_capacity(self):
+        table = ServiceTable(max_size=1)
+        table.add(ramses_zoom2_desc(), None, self.solve)
+        with pytest.raises(ProfileError, match="full"):
+            table.add(ProfileDesc("other", 0, 0, 0), None, self.solve)
+
+    def test_can_solve_checks_structure(self):
+        table = ServiceTable()
+        table.add(ramses_zoom2_desc(), None, self.solve)
+        assert table.can_solve(ramses_zoom2_desc())
+        different = ramses_zoom2_desc()
+        different.set_arg(1, scalar_desc(BaseType.DOUBLE))
+        assert not table.can_solve(different)
+
+    def test_non_callable_solve_rejected(self):
+        with pytest.raises(ProfileError):
+            ServiceTable().add(ramses_zoom2_desc(), None, "not-callable")
+
+    def test_print_table(self):
+        table = ServiceTable()
+        table.add(ramses_zoom2_desc(), None, self.solve)
+        text = table.print_table()
+        assert "ramsesZoom2" in text and "1/64" in text

@@ -1,0 +1,101 @@
+"""Unit + physics tests for spherical-overdensity halo properties."""
+
+import numpy as np
+import pytest
+
+from repro.galics import find_halos
+from repro.galics.halo_properties import (
+    velocity_dispersion,
+    virial_properties,
+)
+from repro.grafic import make_single_level_ic
+from repro.ramses import LCDM_WMAP, ParticleSet, RamsesRun, RunConfig
+
+
+def dense_blob(n_blob=400, n_field=600, scale=0.004, seed=0):
+    rng = np.random.default_rng(seed)
+    blob = np.mod(0.5 + scale * rng.standard_normal((n_blob, 3)), 1.0)
+    field = rng.random((n_field, 3))
+    x = np.vstack([blob, field])
+    n = len(x)
+    parts = ParticleSet(x, np.zeros((n, 3)), np.full(n, 1.0 / n),
+                        np.arange(n, dtype=np.int64),
+                        np.zeros(n, dtype=np.int16))
+    return parts
+
+
+class TestVelocityDispersion:
+    def test_zero_for_cold_set(self):
+        parts = dense_blob()
+        assert velocity_dispersion(parts, np.arange(100), 1.0) == 0.0
+
+    def test_known_dispersion(self):
+        parts = dense_blob()
+        rng = np.random.default_rng(1)
+        parts.p[:] = rng.normal(0.0, 0.5, parts.p.shape)   # sigma_p = 0.5
+        sigma = velocity_dispersion(parts, np.arange(len(parts)), 1.0)
+        assert sigma == pytest.approx(0.5, rel=0.05)
+
+    def test_bulk_motion_removed(self):
+        parts = dense_blob()
+        parts.p[:] = 3.0   # pure bulk flow
+        assert velocity_dispersion(parts, np.arange(50), 1.0) == pytest.approx(0.0)
+
+    def test_a_scaling(self):
+        parts = dense_blob()
+        rng = np.random.default_rng(2)
+        parts.p[:] = rng.normal(0.0, 1.0, parts.p.shape)
+        s1 = velocity_dispersion(parts, np.arange(100), 1.0)
+        s05 = velocity_dispersion(parts, np.arange(100), 0.5)
+        assert s05 == pytest.approx(2 * s1, rel=1e-9)
+
+    def test_empty_members_raise(self):
+        with pytest.raises(ValueError):
+            velocity_dispersion(dense_blob(), np.array([], dtype=int), 1.0)
+
+
+class TestVirialProperties:
+    def test_blob_recovers_overdense_sphere(self):
+        parts = dense_blob()
+        catalog = find_halos(parts, aexp=1.0, min_particles=50)
+        halo = catalog[0]
+        props = virial_properties(halo, parts, aexp=1.0)
+        assert props is not None
+        # the 400-particle blob dominates M200
+        assert props.n200 >= 300
+        assert props.m200 == pytest.approx(props.n200 / len(parts))
+        # enclosed density at R200 is exactly the threshold (by construction
+        # of the walk it is the last radius above it)
+        mean_ratio = props.m200 / (4 / 3 * np.pi * props.r200 ** 3)
+        assert mean_ratio >= 200.0
+
+    def test_half_mass_radius_inside_r200(self):
+        parts = dense_blob()
+        halo = find_halos(parts, aexp=1.0, min_particles=50)[0]
+        props = virial_properties(halo, parts, aexp=1.0)
+        assert 0 < props.r_half < props.r200
+        assert 0 < props.concentration_proxy < 1
+
+    def test_uniform_field_returns_none(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((500, 3))
+        parts = ParticleSet(x, np.zeros_like(x), np.full(500, 1 / 500),
+                            np.arange(500, dtype=np.int64),
+                            np.zeros(500, dtype=np.int16))
+        from repro.galics.catalogs import Halo
+        fake = Halo(halo_id=0, center=np.array([0.5, 0.5, 0.5]), mass=0.1,
+                    velocity=np.zeros(3), n_particles=10, radius=0.1,
+                    member_ids=np.arange(10))
+        assert virial_properties(fake, parts, aexp=1.0) is None
+
+    def test_on_real_simulation_halo(self):
+        """M200 of the biggest simulated halo is of order its FoF mass."""
+        ic = make_single_level_ic(16, 50.0, LCDM_WMAP, a_start=0.05, seed=11)
+        snap = RamsesRun(ic, RunConfig(a_end=1.0, n_steps=20,
+                                       output_aexp=(1.0,))).run().final
+        catalog = find_halos(snap.particles, snap.aexp, min_particles=8)
+        halo = catalog[0]
+        props = virial_properties(halo, snap.particles, snap.aexp)
+        assert props is not None
+        assert 0.2 * halo.mass < props.m200 < 5.0 * halo.mass
+        assert props.sigma_v > 0

@@ -1,0 +1,57 @@
+"""Science checks on the SAM's population statistics."""
+
+import numpy as np
+import pytest
+
+from repro.galics import GalaxyMaker, build_merger_tree, find_halos
+from repro.grafic import make_single_level_ic
+from repro.ramses import LCDM_WMAP, RamsesRun, RunConfig
+
+
+@pytest.fixture(scope="module")
+def population():
+    ic = make_single_level_ic(32, 100.0, LCDM_WMAP, a_start=0.05, seed=42)
+    cfg = RunConfig(a_end=1.0, n_steps=32, output_aexp=(0.4, 0.6, 0.8, 1.0))
+    result = RamsesRun(ic, cfg).run()
+    catalogs = [find_halos(s.particles, s.aexp) for s in result.snapshots]
+    nonempty = [c for c in catalogs if len(c)]
+    tree = build_merger_tree(nonempty)
+    galaxy_catalogs = GalaxyMaker(LCDM_WMAP).run(tree)
+    return nonempty, galaxy_catalogs
+
+
+class TestStellarMassFunction:
+    def test_smf_declines_with_mass(self, population):
+        """More faint galaxies than bright ones (the SMF's overall shape)."""
+        _, galaxy_catalogs = population
+        masses = galaxy_catalogs[-1].stellar_masses()
+        masses = masses[masses > 0]
+        median = np.median(masses)
+        assert (masses < median * 3).sum() > (masses > median * 3).sum()
+
+    def test_stellar_mass_tracks_halo_mass(self, population):
+        """Bigger halos host bigger galaxies (monotone on average)."""
+        halo_catalogs, galaxy_catalogs = population
+        halos = {h.halo_id: h.mass for h in halo_catalogs[-1]}
+        pairs = [(halos[g.halo_id], g.stellar_mass)
+                 for g in galaxy_catalogs[-1] if g.stellar_mass > 0]
+        pairs.sort()
+        halo_masses = np.array([p[0] for p in pairs])
+        stellar = np.array([p[1] for p in pairs])
+        # Spearman-ish: rank correlation positive and strong
+        ranks_h = np.argsort(np.argsort(halo_masses))
+        ranks_s = np.argsort(np.argsort(stellar))
+        corr = np.corrcoef(ranks_h, ranks_s)[0, 1]
+        assert corr > 0.5
+
+    def test_star_formation_efficiency_below_baryon_budget(self, population):
+        """Global stellar fraction < baryon fraction (feedback regulated)."""
+        halo_catalogs, galaxy_catalogs = population
+        total_stars = galaxy_catalogs[-1].total_stellar_mass()
+        total_halo = sum(h.mass for h in halo_catalogs[-1])
+        assert 0 < total_stars < 0.15 * total_halo
+
+    def test_population_grows_with_time(self, population):
+        _, galaxy_catalogs = population
+        counts = [len(c) for c in galaxy_catalogs]
+        assert counts[-1] >= counts[0]

@@ -1,0 +1,109 @@
+"""Unit tests for the mode-matched Gaussian random field generator."""
+
+import numpy as np
+import pytest
+
+from repro.grafic import (
+    GaussianFieldGenerator,
+    PowerSpectrum,
+    measure_power_spectrum,
+)
+from repro.ramses import LCDM_WMAP
+
+
+@pytest.fixture(scope="module")
+def spectrum():
+    return PowerSpectrum(LCDM_WMAP)
+
+
+@pytest.fixture(scope="module")
+def generator(spectrum):
+    return GaussianFieldGenerator(spectrum, boxsize_mpc_h=100.0,
+                                  n_fine=64, seed=12)
+
+
+class TestFieldStatistics:
+    def test_zero_mean(self, generator):
+        delta = generator.delta(64)
+        assert abs(delta.mean()) < 1e-12
+
+    def test_field_is_real_and_finite(self, generator):
+        delta = generator.delta(32)
+        assert np.all(np.isfinite(delta))
+
+    def test_measured_spectrum_matches_input(self, generator, spectrum):
+        delta = generator.delta(64)
+        k, p = measure_power_spectrum(delta, 100.0, n_bins=14)
+        # skip first (few modes) and last (Nyquist) bins
+        ratio = p[1:-2] / spectrum(k[1:-2])
+        assert np.all((ratio > 0.7) & (ratio < 1.4))
+
+    def test_deterministic_per_seed(self, spectrum):
+        a = GaussianFieldGenerator(spectrum, 100.0, 32, seed=5).delta(32)
+        b = GaussianFieldGenerator(spectrum, 100.0, 32, seed=5).delta(32)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, spectrum):
+        a = GaussianFieldGenerator(spectrum, 100.0, 32, seed=5).delta(32)
+        b = GaussianFieldGenerator(spectrum, 100.0, 32, seed=6).delta(32)
+        assert not np.allclose(a, b)
+
+
+class TestModeMatching:
+    def test_coarse_field_shares_large_scale_modes(self, generator):
+        """delta(32) and delta(64) agree on low-k Fourier modes: the
+        'Russian doll' consistency property of §3."""
+        fine = np.fft.fftn(generator.delta(64))
+        coarse = np.fft.fftn(generator.delta(32))
+        # DFT amplitudes of the same physical mode scale as n^3 (amplitude
+        # normalization sqrt(P n^3 / V) times the noise rescale (n_c/n_f)^1.5
+        # combine to exactly (n_c/n_f)^3)
+        scale = (32 / 64) ** 3
+        for idx in [(1, 0, 0), (0, 2, 1), (3, 3, 2), (-2, 1, 0)]:
+            assert coarse[idx] == pytest.approx(fine[idx] * scale, rel=1e-10)
+
+    def test_truncated_coarse_is_exactly_real(self, generator):
+        # Nyquist handling must keep the coarse field real
+        d_hat = np.fft.fftn(generator.delta(32))
+        back = np.fft.ifftn(d_hat)
+        assert np.abs(back.imag).max() < 1e-12
+
+    def test_requesting_finer_than_realization_fails(self, generator):
+        with pytest.raises(ValueError):
+            generator.delta(128)
+        with pytest.raises(ValueError):
+            generator.delta(33)   # odd
+
+
+class TestDisplacement:
+    def test_divergence_is_minus_delta(self, generator):
+        """psi solves div(psi) = -delta (checked spectrally, sub-Nyquist)."""
+        n = 32
+        psi = generator.displacement(n) * 100.0   # back to Mpc/h
+        delta = generator.delta(n)
+        k1 = 2.0 * np.pi * np.fft.fftfreq(n, d=100.0 / n)
+        div_hat = (1j * k1[:, None, None] * np.fft.fftn(psi[..., 0])
+                   + 1j * k1[None, :, None] * np.fft.fftn(psi[..., 1])
+                   + 1j * k1[None, None, :] * np.fft.fftn(psi[..., 2]))
+        delta_hat = np.fft.fftn(delta)
+        # compare on non-Nyquist modes
+        mask = np.ones((n, n, n), dtype=bool)
+        mask[n // 2, :, :] = mask[:, n // 2, :] = mask[:, :, n // 2] = False
+        mask[0, 0, 0] = False
+        assert np.allclose(div_hat[mask], -delta_hat[mask], atol=1e-8)
+
+    def test_displacement_shape_and_units(self, generator):
+        psi = generator.displacement(16)
+        assert psi.shape == (16, 16, 16, 3)
+        # typical displacement for LCDM at z=0 in a 100 Mpc/h box:
+        # a few Mpc/h -> a few 0.01 box units
+        rms = psi.std()
+        assert 0.005 < rms < 0.2
+
+
+class TestValidation:
+    def test_constructor_validation(self, spectrum):
+        with pytest.raises(ValueError):
+            GaussianFieldGenerator(spectrum, -1.0, 32)
+        with pytest.raises(ValueError):
+            GaussianFieldGenerator(spectrum, 100.0, 31)

@@ -1,0 +1,126 @@
+"""Unit + physics tests for the 2LPT initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.grafic import (
+    GaussianFieldGenerator,
+    PowerSpectrum,
+    make_single_level_ic,
+)
+from repro.grafic.lpt import (
+    d2_growth,
+    d2_growth_rate,
+    make_single_level_ic_2lpt,
+    second_order_displacement,
+)
+from repro.ramses import EDS, LCDM_WMAP, GravitySolver, Leapfrog
+from repro.ramses.mesh import cic_deposit
+
+
+def wrapdiff(a, b):
+    d = a - b
+    return d - np.round(d)
+
+
+class TestD2Growth:
+    def test_eds_analytic(self):
+        """EdS: D2 = -3/7 D1^2 exactly (Omega_m(a) == 1)."""
+        for a in (0.1, 0.5, 1.0):
+            assert d2_growth(EDS, a) == pytest.approx(-3.0 / 7.0 * a * a)
+
+    def test_negative_and_quadratic(self):
+        assert d2_growth(LCDM_WMAP, 0.5) < 0
+        ratio = d2_growth(LCDM_WMAP, 0.2) / d2_growth(LCDM_WMAP, 0.1)
+        d1_ratio = (LCDM_WMAP.growth_factor(0.2)
+                    / LCDM_WMAP.growth_factor(0.1)) ** 2
+        assert ratio == pytest.approx(d1_ratio, rel=0.02)
+
+    def test_rate_matches_difference(self):
+        a = 0.3
+        rate = d2_growth_rate(LCDM_WMAP, a)
+        fd = (d2_growth(LCDM_WMAP, a + 1e-4)
+              - d2_growth(LCDM_WMAP, a - 1e-4)) / 2e-4
+        assert rate == pytest.approx(fd, rel=1e-3)
+
+
+class TestSecondOrderField:
+    def test_plane_wave_has_zero_psi2(self):
+        """Zel'dovich is exact in 1-d: the 2LPT source vanishes."""
+        ps = PowerSpectrum(LCDM_WMAP)
+        gen = GaussianFieldGenerator(ps, 100.0, 16, seed=1)
+        # overwrite the noise with a single kx mode
+        n = 16
+        white = np.zeros((n, n, n), dtype=complex)
+        white[1, 0, 0] = 50.0
+        white[-1, 0, 0] = 50.0
+        gen._white_hat_fine = white
+        psi2 = second_order_displacement(gen, n)
+        assert np.abs(psi2).max() < 1e-12
+
+    def test_quadratic_scaling_with_amplitude(self):
+        ps = PowerSpectrum(LCDM_WMAP)
+        gen = GaussianFieldGenerator(ps, 100.0, 16, seed=2)
+        psi2_a = second_order_displacement(gen, 16)
+        gen._white_hat_fine = gen._white_hat_fine * 2.0
+        psi2_b = second_order_displacement(gen, 16)
+        assert np.allclose(psi2_b, 4.0 * psi2_a, rtol=1e-10)
+
+    def test_psi2_much_smaller_than_psi1(self):
+        ps = PowerSpectrum(LCDM_WMAP)
+        gen = GaussianFieldGenerator(ps, 100.0, 32, seed=3)
+        psi1 = gen.displacement(32)
+        psi2 = second_order_displacement(gen, 32)
+        # at z=0 normalization, |D2 psi2| << |D1 psi1| for this box
+        assert (3.0 / 7.0) * psi2.std() < 0.5 * psi1.std()
+
+
+class TestIc2lpt:
+    def test_basic_structure(self):
+        ic = make_single_level_ic_2lpt(16, 100.0, LCDM_WMAP, a_start=0.1,
+                                       seed=4)
+        assert len(ic.particles) == 16 ** 3
+        ic.particles.validate()
+
+    def test_beats_zeldovich_against_evolved_reference(self):
+        """2LPT ICs at a late start match the PM evolution of early-start
+        Zel'dovich ICs better than late Zel'dovich ICs do."""
+        n, box, seed, a_t = 16, 100.0, 5, 0.25
+        early = make_single_level_ic(n, box, LCDM_WMAP, a_start=0.02,
+                                     seed=seed)
+        parts = early.particles.copy()
+        leap = Leapfrog(LCDM_WMAP, GravitySolver(LCDM_WMAP, n))
+        leap.run(parts, LCDM_WMAP.aexp_schedule(0.02, a_t, 48))
+        ref = parts.x[np.argsort(parts.ids)]
+
+        def mean_err(ic):
+            x = ic.particles.x[np.argsort(ic.particles.ids)]
+            return np.sqrt((wrapdiff(x, ref) ** 2).sum(axis=1)).mean()
+
+        err_za = mean_err(make_single_level_ic(n, box, LCDM_WMAP,
+                                               a_start=a_t, seed=seed))
+        err_2lpt = mean_err(make_single_level_ic_2lpt(n, box, LCDM_WMAP,
+                                                      a_start=a_t, seed=seed))
+        assert err_2lpt < err_za
+
+    def test_higher_density_skewness_than_zeldovich(self):
+        """2LPT restores the second-order mode coupling: the density field
+        is more skewed than Zel'dovich's at equal variance."""
+        n, box, seed, a_t = 32, 100.0, 6, 0.35
+
+        def skewness(ic):
+            grid = cic_deposit(ic.particles.x, ic.particles.mass, n)
+            delta = grid / grid.mean() - 1.0
+            return float(np.mean(delta ** 3) / np.mean(delta ** 2) ** 1.5)
+
+        s_za = skewness(make_single_level_ic(n, box, LCDM_WMAP,
+                                             a_start=a_t, seed=seed))
+        s_2lpt = skewness(make_single_level_ic_2lpt(n, box, LCDM_WMAP,
+                                                    a_start=a_t, seed=seed))
+        assert s_2lpt > s_za
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_single_level_ic_2lpt(10, 100.0, EDS)
+        with pytest.raises(ValueError):
+            make_single_level_ic_2lpt(16, 100.0, EDS, a_start=1.2)

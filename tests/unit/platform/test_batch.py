@@ -1,0 +1,79 @@
+"""Unit tests for the OAR-like batch reservation ledger."""
+
+import pytest
+
+from repro.platform import BatchScheduler, ReservationError
+
+
+@pytest.fixture
+def batch():
+    b = BatchScheduler()
+    b.add_cluster("big", total_nodes=64)
+    b.add_cluster("capped", total_nodes=70, user_cap=16)
+    return b
+
+
+class TestReserve:
+    def test_grant_and_count(self, batch):
+        res = batch.reserve("big", 16, 3600.0)
+        assert res.n_nodes == 16
+        assert batch.free_nodes("big") == 48
+
+    def test_exhaustion(self, batch):
+        batch.reserve("big", 60, 3600.0)
+        with pytest.raises(ReservationError, match="only 4 free"):
+            batch.reserve("big", 16, 3600.0)
+
+    def test_user_cap_blocks_second_block(self, batch):
+        """The paper's 11-SeD anomaly: a cap admits one 16-node block."""
+        batch.reserve("capped", 16, 3600.0, owner="diet")
+        with pytest.raises(ReservationError, match="user cap"):
+            batch.reserve("capped", 16, 3600.0, owner="diet")
+
+    def test_cap_is_per_owner(self, batch):
+        batch.reserve("capped", 16, 3600.0, owner="diet")
+        other = batch.reserve("capped", 16, 3600.0, owner="astro")
+        assert other.n_nodes == 16
+
+    def test_unknown_cluster(self, batch):
+        with pytest.raises(ReservationError):
+            batch.reserve("ghost", 1, 60.0)
+
+    def test_invalid_node_count(self, batch):
+        with pytest.raises(ValueError):
+            batch.reserve("big", 0, 60.0)
+
+    def test_job_ids_unique_and_increasing(self, batch):
+        ids = [batch.reserve("big", 1, 60.0).job_id for _ in range(5)]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+
+class TestRelease:
+    def test_release_returns_nodes(self, batch):
+        res = batch.reserve("big", 32, 3600.0)
+        batch.release(res)
+        assert batch.free_nodes("big") == 64
+
+    def test_double_release_raises(self, batch):
+        res = batch.reserve("big", 8, 3600.0)
+        batch.release(res)
+        with pytest.raises(ReservationError):
+            batch.release(res)
+
+    def test_release_frees_cap_headroom(self, batch):
+        res = batch.reserve("capped", 16, 3600.0, owner="diet")
+        batch.release(res)
+        again = batch.reserve("capped", 16, 3600.0, owner="diet")
+        assert again.n_nodes == 16
+
+
+class TestLedger:
+    def test_reservations_listing(self, batch):
+        batch.reserve("big", 8, 60.0, owner="a")
+        batch.reserve("big", 8, 60.0, owner="b")
+        owners = [r.owner for r in batch.reservations("big")]
+        assert owners == ["a", "b"]
+
+    def test_duplicate_cluster_rejected(self, batch):
+        with pytest.raises(ValueError):
+            batch.add_cluster("big", 10)

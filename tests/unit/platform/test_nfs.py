@@ -1,0 +1,105 @@
+"""Unit tests for the NFS working-directory model."""
+
+import pytest
+
+from repro.platform import NfsError, NfsVolume
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def volume(engine):
+    vol = NfsVolume(engine, "nfs-test", capacity_bytes=1000,
+                    throughput=100.0, max_concurrent=2)
+    vol.export_to("node0")
+    vol.export_to("node1")
+    return vol
+
+
+class TestMounts:
+    def test_mounted_hosts_allowed(self, engine, volume):
+        def writer():
+            yield from volume.write("node0", "f", 100)
+
+        engine.run_process(writer())
+        assert volume.exists("f")
+
+    def test_unmounted_host_rejected(self, engine, volume):
+        def writer():
+            yield from volume.write("intruder", "f", 10)
+
+        with pytest.raises(NfsError, match="does not mount"):
+            engine.run_process(writer())
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            NfsVolume(engine, "bad", capacity_bytes=0)
+
+
+class TestContents:
+    def test_write_read_roundtrip(self, engine, volume):
+        def proc():
+            yield from volume.write("node0", "data.bin", 300)
+            size = yield from volume.read("node1", "data.bin")
+            return size
+
+        assert engine.run_process(proc()) == 300
+
+    def test_overwrite_replaces_size(self, engine, volume):
+        def proc():
+            yield from volume.write("node0", "f", 400)
+            yield from volume.write("node0", "f", 100)
+
+        engine.run_process(proc())
+        assert volume.used_bytes == 100
+
+    def test_capacity_enforced(self, engine, volume):
+        def proc():
+            yield from volume.write("node0", "a", 900)
+            yield from volume.write("node0", "b", 200)
+
+        with pytest.raises(NfsError, match="full"):
+            engine.run_process(proc())
+
+    def test_unlink(self, engine, volume):
+        def proc():
+            yield from volume.write("node0", "f", 10)
+
+        engine.run_process(proc())
+        volume.unlink("f")
+        assert not volume.exists("f")
+        volume.unlink("f")  # idempotent
+
+    def test_read_missing_raises(self, engine, volume):
+        def proc():
+            yield from volume.read("node0", "ghost")
+
+        with pytest.raises(NfsError, match="no such file"):
+            engine.run_process(proc())
+
+
+class TestTiming:
+    def test_write_charges_throughput_time(self, engine, volume):
+        def proc():
+            yield from volume.write("node0", "f", 500)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(5.0)
+
+    def test_daemon_contention(self, engine, volume):
+        """max_concurrent=2: a third concurrent access queues."""
+        ends = []
+
+        def writer(i):
+            yield from volume.write("node0", f"f{i}", 200)
+            ends.append(engine.now)
+
+        for i in range(3):
+            engine.process(writer(i))
+        engine.run()
+        assert ends == [pytest.approx(2.0), pytest.approx(2.0),
+                        pytest.approx(4.0)]

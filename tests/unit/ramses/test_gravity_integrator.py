@@ -1,0 +1,135 @@
+"""Unit tests for the PM gravity solver and KDK integrator (physics)."""
+
+import numpy as np
+import pytest
+
+from repro.ramses import EDS, LCDM_WMAP, GravitySolver, Leapfrog, ParticleSet
+from repro.grafic import make_single_level_ic
+from repro.grafic.zeldovich import growing_mode_momentum_factor
+
+
+def plane_wave(n=32, amplitude=0.3 / (2 * np.pi), a0=0.05):
+    """Particles on a lattice with a 1-d growing-mode displacement."""
+    parts = ParticleSet.uniform_lattice(n)
+    q = parts.x.copy()
+    psi = np.zeros_like(q)
+    psi[:, 0] = amplitude * np.sin(2 * np.pi * q[:, 0])
+    parts.x = np.mod(q + a0 * psi, 1.0)   # D(a)=a in EdS
+    parts.p = growing_mode_momentum_factor(EDS, a0) * psi
+    return parts, q, psi
+
+
+class TestGravitySolver:
+    def test_uniform_distribution_no_force(self):
+        parts = ParticleSet.uniform_lattice(8)
+        solver = GravitySolver(EDS, 8)
+        result = solver.accelerations(parts.x, parts.mass, 0.5)
+        assert np.allclose(result.acc, 0.0, atol=1e-10)
+
+    def test_plane_wave_linear_force(self):
+        """PM force matches -grad(phi) = 1.5 psi for a growing mode (EdS)."""
+        parts, q, psi = plane_wave()
+        solver = GravitySolver(EDS, 32)
+        result = solver.accelerations(parts.x, parts.mass, 0.05)
+        expected = 1.5 * psi[:, 0]
+        ratio = np.dot(result.acc[:, 0], expected) / np.dot(expected, expected)
+        assert ratio == pytest.approx(1.0, abs=0.03)
+
+    def test_force_antisymmetry_two_clumps(self):
+        """Two equal clumps attract with (approximately) opposite forces."""
+        x = np.array([[0.4, 0.5, 0.5], [0.6, 0.5, 0.5]])
+        mass = np.array([0.5, 0.5])
+        solver = GravitySolver(EDS, 32)
+        result = solver.accelerations(x, mass, 1.0)
+        # net momentum change ~ 0 and forces point towards each other
+        assert result.acc[0, 0] > 0 > result.acc[1, 0]
+        assert abs(result.acc[:, 0].sum()) < 1e-8 * abs(result.acc[0, 0])
+
+    def test_source_scales_inverse_a(self):
+        parts, _, _ = plane_wave()
+        solver = GravitySolver(EDS, 32)
+        acc_a1 = solver.accelerations(parts.x, parts.mass, 1.0).acc
+        acc_a05 = solver.accelerations(parts.x, parts.mass, 0.5).acc
+        assert np.allclose(acc_a05, 2.0 * acc_a1, rtol=1e-10)
+
+    def test_return_fields_flag(self):
+        parts, _, _ = plane_wave(n=8)
+        solver = GravitySolver(EDS, 8)
+        with_fields = solver.accelerations(parts.x, parts.mass, 1.0,
+                                           return_fields=True)
+        assert with_fields.phi.shape == (8, 8, 8)
+        assert with_fields.delta.shape == (8, 8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GravitySolver(EDS, 1)
+        solver = GravitySolver(EDS, 8)
+        parts = ParticleSet.uniform_lattice(4)
+        with pytest.raises(ValueError):
+            solver.accelerations(parts.x, parts.mass, 0.0)
+
+
+class TestLeapfrog:
+    def test_plane_wave_tracks_zeldovich(self):
+        """EdS plane wave is an exact solution pre-shell-crossing; PM should
+        track it to ~10% of the displacement amplitude."""
+        parts, q, psi = plane_wave()
+        a0, a1 = 0.05, 0.5
+        leap = Leapfrog(EDS, GravitySolver(EDS, 32))
+        leap.run(parts, EDS.aexp_schedule(a0, a1, 64))
+        x_pred = np.mod(q + a1 * psi, 1.0)
+        d = parts.x - x_pred
+        d -= np.round(d)
+        max_disp = a1 * np.abs(psi).max()
+        assert np.abs(d).max() < 0.15 * max_disp
+
+    @pytest.mark.parametrize("cosmo", [EDS, LCDM_WMAP], ids=["EdS", "LCDM"])
+    def test_linear_growth_rate(self, cosmo):
+        """delta_rms grows by D(a1)/D(a0) in the linear regime (to ~3%)."""
+        ic = make_single_level_ic(32, 200.0, cosmo, a_start=0.02, seed=7)
+        parts = ic.particles.copy()
+        solver = GravitySolver(cosmo, 32)
+        leap = Leapfrog(cosmo, solver)
+        d0 = solver.density(parts.x, parts.mass).std()
+        a1 = 0.1
+        leap.run(parts, cosmo.aexp_schedule(0.02, a1, 32))
+        d1 = solver.density(parts.x, parts.mass).std()
+        expected = (cosmo.growth_factor(a1) / cosmo.growth_factor(0.02))
+        assert d1 / d0 == pytest.approx(expected, rel=0.03)
+
+    def test_step_statistics_recorded(self):
+        parts, _, _ = plane_wave(n=8)
+        leap = Leapfrog(EDS, GravitySolver(EDS, 8))
+        stats = leap.run(parts, EDS.aexp_schedule(0.05, 0.1, 4))
+        assert len(stats) == 4
+        assert all(s.a_after > s.a_before for s in stats)
+        assert all(s.max_disp >= 0 for s in stats)
+
+    def test_schedule_validation(self):
+        parts, _, _ = plane_wave(n=8)
+        leap = Leapfrog(EDS, GravitySolver(EDS, 8))
+        with pytest.raises(ValueError):
+            leap.run(parts, np.array([0.5]))
+        with pytest.raises(ValueError):
+            leap.run(parts, np.array([0.5, 0.4]))
+        with pytest.raises(ValueError):
+            leap.step(parts, 0.5, 0.5)
+
+    def test_callback_invoked(self):
+        parts, _, _ = plane_wave(n=8)
+        leap = Leapfrog(EDS, GravitySolver(EDS, 8))
+        seen = []
+        leap.run(parts, EDS.aexp_schedule(0.05, 0.1, 3),
+                 callback=lambda a, p: seen.append(a))
+        assert len(seen) == 3
+
+    def test_momentum_conservation_over_run(self):
+        """Total momentum stays ~0 for a zero-momentum initial state."""
+        ic = make_single_level_ic(16, 100.0, EDS, a_start=0.05, seed=3)
+        parts = ic.particles.copy()
+        p_total0 = np.abs((parts.p * parts.mass[:, None]).sum(axis=0)).max()
+        leap = Leapfrog(EDS, GravitySolver(EDS, 16))
+        leap.run(parts, EDS.aexp_schedule(0.05, 0.5, 16))
+        p_total1 = np.abs((parts.p * parts.mass[:, None]).sum(axis=0)).max()
+        p_typical = np.abs(parts.p).mean()
+        assert p_total1 < 1e-6 * p_typical + p_total0 * 2

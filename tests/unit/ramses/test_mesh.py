@@ -1,0 +1,115 @@
+"""Unit tests for CIC deposit and interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.ramses import cic_deposit, cic_interpolate, density_contrast
+
+
+class TestDeposit:
+    def test_mass_conservation(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((1000, 3))
+        mass = rng.random(1000)
+        grid = cic_deposit(x, mass, 16)
+        assert grid.sum() == pytest.approx(mass.sum(), rel=1e-12)
+
+    def test_particle_at_cell_center_single_cell(self):
+        # grid values live at cell centres (m + 0.5)/n
+        x = np.array([[(2 + 0.5) / 8, (3 + 0.5) / 8, (4 + 0.5) / 8]])
+        grid = cic_deposit(x, np.array([1.0]), 8)
+        assert grid[2, 3, 4] == pytest.approx(1.0)
+        assert np.count_nonzero(grid) == 1
+
+    def test_particle_between_cells_splits_mass(self):
+        # halfway between centres of cells 2 and 3 in x
+        x = np.array([[3.0 / 8, (3 + 0.5) / 8, (3 + 0.5) / 8]])
+        grid = cic_deposit(x, np.array([1.0]), 8)
+        assert grid[2, 3, 3] == pytest.approx(0.5)
+        assert grid[3, 3, 3] == pytest.approx(0.5)
+
+    def test_periodic_wrap(self):
+        # near the box edge: mass wraps to index 0
+        x = np.array([[0.999, 0.5 / 8, 0.5 / 8]])
+        grid = cic_deposit(x, np.array([1.0]), 8)
+        assert grid[7, 0, 0] + grid[0, 0, 0] == pytest.approx(1.0)
+        assert grid[0, 0, 0] > 0
+
+    def test_empty_particles(self):
+        grid = cic_deposit(np.empty((0, 3)), np.empty(0), 4)
+        assert grid.shape == (4, 4, 4) and grid.sum() == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cic_deposit(np.zeros((5, 2)), np.zeros(5), 4)
+        with pytest.raises(ValueError):
+            cic_deposit(np.zeros((5, 3)), np.zeros(4), 4)
+
+
+class TestInterpolate:
+    def test_constant_field_exact(self):
+        field = np.full((8, 8, 8), 3.5)
+        rng = np.random.default_rng(1)
+        x = rng.random((100, 3))
+        assert np.allclose(cic_interpolate(field, x), 3.5)
+
+    def test_linear_field_exact_along_axis(self):
+        # CIC reproduces linear functions exactly (away from wrap)
+        n = 16
+        centers = (np.arange(n) + 0.5) / n
+        field = np.broadcast_to(centers[:, None, None], (n, n, n)).copy()
+        x = np.column_stack([np.linspace(0.2, 0.8, 50),
+                             np.full(50, 0.5), np.full(50, 0.5)])
+        got = cic_interpolate(field, x)
+        assert np.allclose(got, x[:, 0], atol=1e-12)
+
+    def test_vector_field_shape(self):
+        field = np.zeros((8, 8, 8, 3))
+        field[..., 1] = 2.0
+        x = np.random.default_rng(2).random((10, 3))
+        out = cic_interpolate(field, x)
+        assert out.shape == (10, 3)
+        assert np.allclose(out[:, 1], 2.0)
+
+    def test_gather_scatter_adjoint(self):
+        """sum_p m_p f(x_p) == sum_c f_c rho_c for any field f."""
+        rng = np.random.default_rng(3)
+        n = 8
+        x = rng.random((200, 3))
+        mass = rng.random(200)
+        field = rng.random((n, n, n))
+        lhs = np.sum(mass * cic_interpolate(field, x))
+        rhs = np.sum(field * cic_deposit(x, mass, n))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            cic_interpolate(np.zeros((4, 4)), np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            cic_interpolate(np.zeros((4, 5, 4)), np.zeros((1, 3)))
+
+
+class TestDensityContrast:
+    def test_uniform_lattice_zero_contrast(self):
+        n = 8
+        q = (np.arange(n) + 0.5) / n
+        x = np.stack(np.meshgrid(q, q, q, indexing="ij"), axis=-1).reshape(-1, 3)
+        delta = density_contrast(x, np.full(len(x), 1.0 / len(x)), n)
+        assert np.allclose(delta, 0.0, atol=1e-12)
+
+    def test_zero_mean(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((500, 3))
+        delta = density_contrast(x, np.full(500, 0.002), 8)
+        assert delta.mean() == pytest.approx(0.0, abs=1e-13)
+
+    def test_multi_mass_zero_mean(self):
+        rng = np.random.default_rng(5)
+        x = rng.random((500, 3))
+        mass = rng.choice([1.0, 8.0], size=500)
+        delta = density_contrast(x, mass, 8)
+        assert delta.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_mass_raises(self):
+        with pytest.raises(ValueError):
+            density_contrast(np.empty((0, 3)), np.empty(0), 4)

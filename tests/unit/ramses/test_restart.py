@@ -1,0 +1,78 @@
+"""Unit tests for checkpoint/restart (RAMSES restart files)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.grafic import make_multi_level_ic, make_single_level_ic
+from repro.ramses import LCDM_WMAP, RamsesRun, RunConfig, resume_run
+
+
+def sorted_state(parts):
+    order = np.argsort(parts.ids)
+    return parts.x[order], parts.p[order], parts.mass[order]
+
+
+class TestRestart:
+    def test_restart_reproduces_straight_run_exactly(self, tmp_path):
+        """Checkpoint at the schedule midpoint, resume: bitwise-identical
+        trajectory (deterministic KDK on matching schedules)."""
+        ic = make_single_level_ic(16, 100.0, LCDM_WMAP, a_start=0.05, seed=9)
+        sched = LCDM_WMAP.aexp_schedule(0.05, 0.5, 16)
+        a_mid = float(sched[8])
+
+        straight = RamsesRun(ic, RunConfig(
+            a_end=0.5, n_steps=16, output_aexp=(a_mid, 0.5))).run()
+
+        RamsesRun(ic, RunConfig(a_end=a_mid, n_steps=8,
+                                output_aexp=(a_mid,))).run(
+            output_dir=str(tmp_path))
+        resumed = resume_run(os.path.join(str(tmp_path), "output_00001"), 1,
+                             RunConfig(a_end=0.5, n_steps=8,
+                                       output_aexp=(0.5,))).run()
+
+        xa, pa, ma = sorted_state(straight.final.particles)
+        xb, pb, mb = sorted_state(resumed.final.particles)
+        d = xa - xb
+        d -= np.round(d)
+        assert np.abs(d).max() < 1e-12
+        assert np.abs(pa - pb).max() < 1e-12
+        assert np.array_equal(ma, mb)
+
+    def test_restart_preserves_cosmology_and_box(self, tmp_path):
+        ic = make_single_level_ic(8, 50.0, LCDM_WMAP, a_start=0.1, seed=1)
+        RamsesRun(ic, RunConfig(a_end=0.3, n_steps=4,
+                                output_aexp=(0.3,))).run(
+            output_dir=str(tmp_path))
+        run = resume_run(os.path.join(str(tmp_path), "output_00001"), 1,
+                         RunConfig(a_end=0.6, n_steps=4, output_aexp=(0.6,)))
+        assert run.ic.a_start == pytest.approx(0.3)
+        assert run.ic.boxsize_mpc_h == pytest.approx(50.0)
+        assert run.ic.cosmology.omega_m == pytest.approx(LCDM_WMAP.omega_m)
+        assert run.ic.cosmology.h == pytest.approx(LCDM_WMAP.h)
+
+    def test_restart_zoom_run_keeps_fine_grid(self, tmp_path):
+        """Multi-mass checkpoints resume at the finest lattice resolution."""
+        ic = make_multi_level_ic(8, 50.0, LCDM_WMAP, (0.5, 0.5, 0.5),
+                                 n_levels=1, region_half_size=0.2,
+                                 a_start=0.05, seed=2)
+        RamsesRun(ic, RunConfig(a_end=0.2, n_steps=3,
+                                output_aexp=(0.2,))).run(
+            output_dir=str(tmp_path))
+        run = resume_run(os.path.join(str(tmp_path), "output_00001"), 1,
+                         RunConfig(a_end=0.4, n_steps=3, output_aexp=(0.4,)))
+        # finest species is the 16^3 lattice -> PM grid 16
+        assert run.n_grid == 16
+        result = run.run()
+        assert result.final.particles.total_mass == pytest.approx(1.0)
+
+    def test_resumed_run_continues_structure_growth(self, tmp_path):
+        ic = make_single_level_ic(16, 100.0, LCDM_WMAP, a_start=0.05, seed=3)
+        first = RamsesRun(ic, RunConfig(a_end=0.4, n_steps=8,
+                                        output_aexp=(0.4,)))
+        result1 = first.run(output_dir=str(tmp_path))
+        resumed = resume_run(os.path.join(str(tmp_path), "output_00001"), 1,
+                             RunConfig(a_end=1.0, n_steps=12,
+                                       output_aexp=(1.0,))).run()
+        assert resumed.final.rms_delta > result1.final.rms_delta

@@ -1,0 +1,60 @@
+"""Unit tests for the unit system."""
+
+import pytest
+
+from repro.ramses import Units
+from repro.ramses.units import RHO_CRIT_MSUN_H2_MPC3
+
+
+class TestLengths:
+    def test_roundtrip(self):
+        u = Units(100.0)
+        assert u.to_mpc_h(0.25) == 25.0
+        assert u.from_mpc_h(25.0) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Units(-1.0)
+        with pytest.raises(ValueError):
+            Units(100.0, omega_m=2.0)
+
+
+class TestMasses:
+    def test_total_box_mass(self):
+        u = Units(100.0, omega_m=0.3)
+        expected = 0.3 * RHO_CRIT_MSUN_H2_MPC3 * 1e6
+        assert u.total_mass_msun_h == pytest.approx(expected)
+
+    def test_particle_mass(self):
+        u = Units(100.0, omega_m=0.3)
+        assert (u.particle_mass_msun_h(128 ** 3) * 128 ** 3
+                == pytest.approx(u.total_mass_msun_h))
+
+    def test_particle_mass_scale_sane(self):
+        """128^3 particles in 100 Mpc/h: ~3e10 Msun/h each (the paper's
+        low-resolution run)."""
+        u = Units(100.0, omega_m=0.27)
+        m = u.particle_mass_msun_h(128 ** 3)
+        assert 1e10 < m < 1e11
+
+    def test_zero_particles_rejected(self):
+        with pytest.raises(ValueError):
+            Units(100.0).particle_mass_msun_h(0)
+
+
+class TestVelocities:
+    def test_momentum_to_km_s(self):
+        u = Units(100.0)
+        # p = a^2 dx/dt; v_pec = p/a in box*H0 units
+        v = u.momentum_to_km_s(0.01, a=0.5)
+        assert v == pytest.approx(0.01 / 0.5 * 100.0 * 100.0)
+
+    def test_invalid_a(self):
+        with pytest.raises(ValueError):
+            Units(100.0).momentum_to_km_s(1.0, a=0.0)
+
+
+class TestTimes:
+    def test_hubble_time_gyr(self):
+        # 1/H0 for h=0.7: ~13.97 Gyr
+        assert Units(100.0).hubble_time_gyr(h=0.7) == pytest.approx(13.97, rel=0.01)

@@ -1,0 +1,181 @@
+"""Unit tests for hosts, links, routing and transfers."""
+
+import pytest
+
+from repro.sim import Engine, Host, Link, Network, NetworkError
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def star(engine, n_leaves=3, latency=0.01, bw=1e6):
+    """hub <-> leaf-i topology."""
+    net = Network(engine)
+    net.add_host(Host(engine, "hub"))
+    for i in range(n_leaves):
+        net.add_host(Host(engine, f"leaf{i}"))
+        net.connect("hub", f"leaf{i}", Link(engine, f"l{i}", latency, bw))
+    return net
+
+
+class TestHost:
+    def test_speed_validation(self, engine):
+        with pytest.raises(ValueError):
+            Host(engine, "bad", speed=0)
+
+    def test_compute_time_scales_with_speed(self, engine):
+        fast = Host(engine, "fast", speed=4.0)
+        slow = Host(engine, "slow", speed=1.0)
+        assert fast.compute_time(8.0) == 2.0
+        assert slow.compute_time(8.0) == 8.0
+
+    def test_negative_work_raises(self, engine):
+        with pytest.raises(ValueError):
+            Host(engine, "h").compute_time(-1)
+
+    def test_execute_serializes_on_one_core(self, engine):
+        host = Host(engine, "h", speed=1.0, cores=1)
+        done = []
+
+        def job(tag):
+            yield from host.execute(2.0)
+            done.append((tag, engine.now))
+
+        engine.process(job("a"))
+        engine.process(job("b"))
+        engine.run()
+        assert done == [("a", 2.0), ("b", 4.0)]
+
+    def test_execute_parallel_on_two_cores(self, engine):
+        host = Host(engine, "h", speed=1.0, cores=2)
+        done = []
+
+        def job(tag):
+            yield from host.execute(2.0)
+            done.append((tag, engine.now))
+
+        engine.process(job("a"))
+        engine.process(job("b"))
+        engine.run()
+        assert [t for _, t in done] == [2.0, 2.0]
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self, engine):
+        net = Network(engine)
+        net.add_host(Host(engine, "a"))
+        with pytest.raises(NetworkError):
+            net.add_host(Host(engine, "a"))
+
+    def test_unknown_host_lookup(self, engine):
+        net = Network(engine)
+        with pytest.raises(NetworkError):
+            net.host("ghost")
+
+    def test_connect_unknown_host(self, engine):
+        net = Network(engine)
+        net.add_host(Host(engine, "a"))
+        with pytest.raises(NetworkError):
+            net.connect("a", "ghost", Link(engine, "l", 0.01, 1e6))
+
+    def test_link_validation(self, engine):
+        with pytest.raises(ValueError):
+            Link(engine, "l", -0.1, 1e6)
+        with pytest.raises(ValueError):
+            Link(engine, "l", 0.1, 0)
+
+
+class TestRouting:
+    def test_self_route_empty(self, engine):
+        net = star(engine)
+        assert net.route("hub", "hub") == []
+        assert net.transfer_time("hub", "hub", 10**9) == 0.0
+
+    def test_leaf_to_leaf_via_hub(self, engine):
+        net = star(engine)
+        route = net.route("leaf0", "leaf1")
+        assert len(route) == 2
+
+    def test_shortest_path_by_latency(self, engine):
+        net = Network(engine)
+        for name in "abcd":
+            net.add_host(Host(engine, name))
+        # a-b-d is lower latency than direct a-d
+        net.connect("a", "b", Link(engine, "ab", 0.001, 1e6))
+        net.connect("b", "d", Link(engine, "bd", 0.001, 1e6))
+        net.connect("a", "d", Link(engine, "ad", 0.010, 1e6))
+        assert [l.name for l in net.route("a", "d")] == ["ab", "bd"]
+
+    def test_unreachable_raises(self, engine):
+        net = Network(engine)
+        net.add_host(Host(engine, "a"))
+        net.add_host(Host(engine, "b"))
+        with pytest.raises(NetworkError):
+            net.route("a", "b")
+
+    def test_route_cache_symmetric(self, engine):
+        net = star(engine)
+        fwd = net.route("leaf0", "leaf2")
+        back = net.route("leaf2", "leaf0")
+        assert [l.name for l in back] == [l.name for l in reversed(fwd)]
+
+
+class TestTransfers:
+    def test_latency_plus_bandwidth(self, engine):
+        net = star(engine, latency=0.01, bw=1e6)
+        t = net.transfer_time("leaf0", "leaf1", 500_000)
+        assert t == pytest.approx(0.02 + 0.5)
+
+    def test_bottleneck_bandwidth(self, engine):
+        net = Network(engine)
+        for name in "abc":
+            net.add_host(Host(engine, name))
+        net.connect("a", "b", Link(engine, "fat", 0.0, 10e6))
+        net.connect("b", "c", Link(engine, "thin", 0.0, 1e6))
+        assert net.transfer_time("a", "c", 1_000_000) == pytest.approx(1.0)
+
+    def test_timed_transfer_process(self, engine):
+        net = star(engine, latency=0.005, bw=2e6)
+
+        def xfer():
+            duration = yield from net.transfer("leaf0", "leaf1", 1_000_000)
+            return duration
+
+        assert engine.run_process(xfer()) == pytest.approx(0.01 + 0.5)
+
+    def test_negative_size_raises(self, engine):
+        net = star(engine)
+        with pytest.raises(ValueError):
+            net.transfer_time("leaf0", "leaf1", -5)
+
+    def test_shared_link_serializes(self, engine):
+        net = Network(engine)
+        net.add_host(Host(engine, "a"))
+        net.add_host(Host(engine, "b"))
+        net.connect("a", "b",
+                    Link(engine, "serial", 0.0, 1e6, shared=True))
+        ends = []
+
+        def xfer():
+            yield from net.transfer("a", "b", 1_000_000)
+            ends.append(engine.now)
+
+        engine.process(xfer())
+        engine.process(xfer())
+        engine.run()
+        assert ends == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_unshared_link_concurrent(self, engine):
+        net = star(engine, latency=0.0, bw=1e6)
+        ends = []
+
+        def xfer():
+            yield from net.transfer("leaf0", "leaf1", 1_000_000)
+            ends.append(engine.now)
+
+        engine.process(xfer())
+        engine.process(xfer())
+        engine.run()
+        assert ends == [pytest.approx(1.0), pytest.approx(1.0)]

@@ -1,0 +1,74 @@
+"""Unit tests for deterministic random streams."""
+
+import numpy as np
+
+from repro.sim import RandomStreams, stable_seed
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+
+    def test_distinct_inputs_distinct_seeds(self):
+        seeds = {stable_seed("x", i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_nonnegative_63_bit(self):
+        for i in range(100):
+            s = stable_seed("k", i)
+            assert 0 <= s < 2 ** 63
+
+    def test_order_sensitivity(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream(self):
+        streams = RandomStreams(7)
+        a = streams.get("x").random(5)
+        b = RandomStreams(7).get("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_cached_generator_continues(self):
+        streams = RandomStreams(7)
+        g1 = streams.get("x")
+        g2 = streams.get("x")
+        assert g1 is g2
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        a = streams.get("a").random(100)
+        b = streams.get("b").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        s1 = RandomStreams(3)
+        first = s1.get("main").random(10)
+
+        s2 = RandomStreams(3)
+        s2.get("new-consumer").random(50)   # a new consumer appears
+        second = s2.get("main").random(10)
+        assert np.array_equal(first, second)
+
+    def test_spawn_deterministic(self):
+        a = RandomStreams(1).spawn("child").get("s").random(4)
+        b = RandomStreams(1).spawn("child").get("s").random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_differs_from_parent(self):
+        parent = RandomStreams(1)
+        child = parent.spawn("child")
+        assert not np.array_equal(parent.get("s").random(4),
+                                  child.get("s").random(4))
+
+    def test_indexed_streams(self):
+        streams = RandomStreams(9)
+        draws = [streams.get("work", i).random() for i in range(50)]
+        assert len(set(draws)) == 50
+
+    def test_uniform_stream_iterator(self):
+        streams = RandomStreams(5)
+        it = streams.uniform_stream("u")
+        vals = [next(it) for _ in range(10)]
+        assert all(0 <= v < 1 for v in vals)
+        assert len(set(vals)) == 10

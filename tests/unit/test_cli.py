@@ -1,0 +1,50 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_experiment_subcommands_exist(self):
+        parser = build_parser()
+        for name in ("timings", "figure4", "figure5", "overhead",
+                     "architecture", "campaign", "list"):
+            args = parser.parse_args([name] if name != "campaign"
+                                     else ["campaign"])
+            assert args.command == name
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--n-sub", "7", "--policy", "mct", "--seed", "9"])
+        assert args.n_sub == 7
+        assert args.policy == "mct"
+        assert args.seed == 9
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--policy", "quantum"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "timings" in out and "campaign" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_architecture_runs(self, capsys):
+        assert main(["architecture"]) == 0
+        out = capsys.readouterr().out
+        assert "MA" in out and "SeD" in out
+
+    def test_campaign_with_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "t.csv")
+        assert main(["campaign", "--n-sub", "5", "--trace-csv", path]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        with open(path) as fh:
+            assert len(fh.readlines()) == 7   # header + part1 + 5 zooms
