@@ -1,6 +1,7 @@
 """DIET middleware reimplementation (the paper's contribution surface).
 
-Layers (bottom-up): :mod:`transport` (CORBA substitute over the simulated
+Layers (bottom-up): :mod:`pipeline` (the interceptor chain every message
+travels through) and :mod:`transport` (CORBA substitute over the simulated
 network), :mod:`data`/:mod:`profile` (the DIET data model and service
 profiles of §4.2), :mod:`sed` / :mod:`agent` / :mod:`client` (the
 client/agent/server paradigm of §2.1), :mod:`scheduling` (default and
@@ -31,6 +32,7 @@ from .deployment import Deployment, deploy_paper_hierarchy
 from .exceptions import (
     CommunicationError,
     DataError,
+    DeadlineExceededError,
     DietError,
     NotCompletedError,
     NotInitializedError,
@@ -39,6 +41,18 @@ from .exceptions import (
     ServiceNotFoundError,
 )
 from .logservice import LogCentral, LogEvent, post_event
+from .pipeline import (
+    AccountingInterceptor,
+    DeadlineInterceptor,
+    FaultInjectionInterceptor,
+    Interceptor,
+    InterceptorPipeline,
+    MarshallingInterceptor,
+    MessageContext,
+    MessageDropped,
+    RpcPolicy,
+    TracingInterceptor,
+)
 from .profile import Profile, ProfileDesc, ServiceTable
 from .requests import (
     EstimateRequest,
@@ -65,6 +79,7 @@ from .statistics import RequestTrace, Tracer
 from .transport import Endpoint, Message, TransportFabric, TransportParams
 
 __all__ = [
+    "AccountingInterceptor",
     "AgentParams",
     "ArgDesc",
     "AsyncRequest",
@@ -75,6 +90,8 @@ __all__ = [
     "DataError",
     "DataHandle",
     "DataLocalityPolicy",
+    "DeadlineExceededError",
+    "DeadlineInterceptor",
     "DefaultPolicy",
     "Deployment",
     "DietArg",
@@ -85,14 +102,20 @@ __all__ = [
     "EstimateRequest",
     "EstimationVector",
     "FastestNodePolicy",
+    "FaultInjectionInterceptor",
     "FileRef",
     "FunctionHandle",
+    "Interceptor",
+    "InterceptorPipeline",
     "LocalAgent",
     "LogCentral",
     "LogEvent",
     "MCTPolicy",
+    "MarshallingInterceptor",
     "MasterAgent",
     "Message",
+    "MessageContext",
+    "MessageDropped",
     "MinQueuePolicy",
     "NotCompletedError",
     "NotInitializedError",
@@ -103,6 +126,7 @@ __all__ = [
     "ProfileError",
     "RandomPolicy",
     "RequestTrace",
+    "RpcPolicy",
     "SchedulerPolicy",
     "SchedulingContext",
     "SeD",
@@ -115,6 +139,7 @@ __all__ = [
     "SolveRequest",
     "SubmitRequest",
     "Tracer",
+    "TracingInterceptor",
     "TransportFabric",
     "TransportParams",
     "deploy_paper_hierarchy",

@@ -20,7 +20,7 @@ from typing import Any, Generator, List, Optional
 from ..sim.engine import Engine, Event
 from ..sim.network import Host
 from .exceptions import ServerNotFoundError
-from .logservice import post_event
+from .pipeline import DeadlineInterceptor, TracingInterceptor
 from .requests import EstimateRequest, SubmitRequest
 from .scheduling import DefaultPolicy, EstimationVector, SchedulerPolicy, SchedulingContext
 from .statistics import Tracer
@@ -35,8 +35,14 @@ class AgentParams:
 
     processing_time: float = 1.8e-3
     #: Give up on children that do not answer within this many seconds
-    #: (covers crashed SeDs in the failure-injection tests).
+    #: (covers crashed SeDs in the failure-injection tests).  Enforced by a
+    #: :class:`DeadlineInterceptor` on the agent's endpoint.
     child_timeout: float = 10.0
+    #: Re-send an unanswered estimate this many times before giving up on
+    #: the child (recovers a dropped request instead of pruning its subtree).
+    child_retries: int = 0
+    #: Seconds to wait between estimate retries (multiplied by the attempt).
+    retry_backoff: float = 0.0
     #: LA-side aggregation: forward only the best ``aggregate_top_k``
     #: estimates upward (§2.1: agents sort responses through the hierarchy).
     #: None forwards everything — the MA then sees every candidate, which
@@ -65,6 +71,11 @@ class LocalAgent:
         self.params = params or AgentParams()
         self.children: List[str] = []
         self.endpoint: Endpoint = fabric.endpoint(name, host.name)
+        #: Child fan-out timeout/retry, shared with every other RPC deadline
+        #: through the one pipeline mechanism.
+        self.deadline = self.endpoint.pipeline.add(DeadlineInterceptor(
+            self.params.child_timeout, retries=self.params.child_retries,
+            backoff=self.params.retry_backoff, ops=("estimate",)))
         self.endpoint.on("estimate", self._handle_estimate)
         #: Monitoring counters ("the information stored on an agent is the
         #: list of requests, the number of servers that can solve a given
@@ -86,8 +97,9 @@ class LocalAgent:
         try:
             result = yield from self.endpoint.rpc(child, "estimate", req)
         except Exception:
-            # A dead or misbehaving child prunes its subtree from the
-            # candidate set; it must not fail the whole request.
+            # A dead, misbehaving or timed-out child (DeadlineExceededError
+            # from the endpoint's DeadlineInterceptor) prunes its subtree
+            # from the candidate set; it must not fail the whole request.
             return []
         return list(result) if result else []
 
@@ -99,17 +111,13 @@ class LocalAgent:
         procs = [self.engine.process(self._child_estimate(c, req),
                                      name=f"{self.name}->{c}")
                  for c in self.children]
-        deadline = self.engine.timeout(self.params.child_timeout)
-        done = yield self.engine.any_of([self.engine.all_of(procs), deadline])
+        # Every child RPC carries its own deadline/retry budget (the
+        # endpoint's DeadlineInterceptor), so each proc is guaranteed to
+        # terminate — no fan-out-level watchdog needed.
+        yield self.engine.all_of(procs)
         ests: List[EstimationVector] = []
         for proc in procs:
-            if proc.triggered and proc.ok:
-                ests.extend(proc.value)
-            elif proc.triggered:
-                pass  # child failed: skip its subtree
-            else:
-                self.fabric.engine.defuse(proc)
-        del done
+            ests.extend(proc.value)
         return ests
 
     def _aggregate(self, ests: List[EstimationVector]) -> List[EstimationVector]:
@@ -150,6 +158,10 @@ class MasterAgent(LocalAgent):
         self.policy = policy or DefaultPolicy()
         self.ctx = SchedulingContext()
         self.tracer = tracer or Tracer()
+        #: One call site for monitoring: journals to the tracer and posts
+        #: the same event to LogCentral (when deployed).
+        self.tracing = self.endpoint.pipeline.add(
+            TracingInterceptor(self.tracer, log_central))
         self.endpoint.on("submit", self._handle_submit)
         self.endpoint.on("job_done", self._handle_job_done)
 
@@ -167,18 +179,16 @@ class MasterAgent(LocalAgent):
         chosen = self.policy.choose(candidates, self.ctx)
         assert chosen is not None
         self.ctx.note_dispatch(chosen.sed_name)
-        self.tracer.log(self.engine.now, "scheduled",
-                        request_id=sub.request_id, sed=chosen.sed_name,
-                        n_candidates=len(candidates))
-        post_event(self.endpoint, self.log_central, "schedule",
-                   request_id=sub.request_id, sed=chosen.sed_name,
-                   service=sub.service_desc.path)
+        self.tracing.emit(self.endpoint, "schedule",
+                          request_id=sub.request_id, sed=chosen.sed_name,
+                          service=sub.service_desc.path,
+                          n_candidates=len(candidates))
         return ((chosen.sed_name, chosen), 512)
 
     def _handle_job_done(self, msg) -> Generator[Event, Any, None]:
         info = msg.payload
         self.ctx.note_completion(info["sed"], info["duration"],
                                  service=info.get("service", ""))
-        self.tracer.log(self.engine.now, "job-done", **info)
+        self.tracing.emit(self.endpoint, "job-done", **info)
         return
         yield  # pragma: no cover - make this a generator function

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator, Iterable, Optional
 
 from ..sim.engine import Engine, Event, Process
 from ..sim.network import Host
@@ -28,8 +28,9 @@ from .exceptions import (
     NotCompletedError,
     NotInitializedError,
 )
+from .pipeline import Interceptor, TracingInterceptor
 from .profile import Profile
-from .requests import SolveReply, SolveRequest, SubmitRequest, new_request_id
+from .requests import SolveRequest, SubmitRequest, new_request_id
 from .statistics import Tracer
 from .transport import Endpoint, TransportFabric
 
@@ -93,13 +94,20 @@ class DietClient:
     """A DIET client application bound to one simulated host."""
 
     def __init__(self, fabric: TransportFabric, host: Host,
-                 name: str = "client", tracer: Optional[Tracer] = None):
+                 name: str = "client", tracer: Optional[Tracer] = None,
+                 interceptors: Iterable[Interceptor] = ()):
         self.fabric = fabric
         self.engine: Engine = fabric.engine
         self.host = host
         self.name = name
         self.tracer = tracer or Tracer()
         self.endpoint: Endpoint = fabric.endpoint(name, host.name)
+        #: Request-lifecycle stamps (submitted/found/data-sent/completed) are
+        #: taken by the pipeline, not by call(); extra interceptors (e.g. a
+        #: DeadlineInterceptor from grpc_set_deadline) append after it.
+        self.tracing = self.endpoint.pipeline.add(TracingInterceptor(self.tracer))
+        for icpt in interceptors:
+            self.endpoint.pipeline.add(icpt)
         self.ma_name: Optional[str] = None
         self._initialized = False
         self._session_ids = itertools.count(1)
@@ -155,8 +163,6 @@ class DietClient:
         self._check_session()
         profile.validate_for_submit()
         request_id = new_request_id()
-        trace = self.tracer.trace(request_id, profile.path)
-        trace.submitted_at = self.engine.now
 
         # Data Location Manager view: persistent inputs already on SeDs.
         from .data import DataHandle
@@ -173,25 +179,17 @@ class DietClient:
                             client_endpoint=self.endpoint.name,
                             request_nbytes=profile.request_nbytes(),
                             resident_bytes=resident)
+        # Lifecycle stamps (submitted_at/found_at/data_sent_at/completed_at)
+        # are recorded by the endpoint's TracingInterceptor as the messages
+        # pass through the pipeline.
         sed_name, _est = yield from self.endpoint.rpc(self.ma_name, "submit", sub)
-        trace.found_at = self.engine.now
-        trace.sed_name = sed_name
         if handle is not None:
             handle.server = sed_name
 
-        trace.data_sent_at = self.engine.now
         solve_req = SolveRequest(request_id=request_id, profile=profile,
                                  client_endpoint=self.endpoint.name)
-        reply: SolveReply = yield from self.endpoint.rpc(
+        reply = yield from self.endpoint.rpc(
             sed_name, "solve", solve_req, nbytes=profile.request_nbytes())
-        trace.completed_at = self.engine.now
-        trace.status = reply.status
-        # The tracer is shared with the SeD in-process; when it is not (e.g.
-        # separate tracers in tests) the reply timestamps fill the gaps.
-        if trace.solve_started_at is None:
-            trace.solve_started_at = reply.solve_started_at
-        if trace.solve_ended_at is None:
-            trace.solve_ended_at = reply.solve_ended_at
 
         for index, value in reply.out_values.items():
             profile.parameter(index).set(value)

@@ -27,6 +27,7 @@ __all__ = [
     "InvalidSessionError",
     "RpcRefusedError",
     "CommunicationError",
+    "DeadlineExceededError",
     "SessionFailedError",
     "NotCompletedError",
     "ProfileError",
@@ -85,6 +86,11 @@ class RpcRefusedError(DietError):
 
 class CommunicationError(DietError):
     code = GRPC_COMMUNICATION_FAILED
+
+
+class DeadlineExceededError(CommunicationError):
+    """An RPC outlived its :class:`~repro.core.pipeline.DeadlineInterceptor`
+    policy (deadline expired on every attempt, retries exhausted)."""
 
 
 class SessionFailedError(DietError):

@@ -13,10 +13,11 @@ simulation process are generators, like the methods they wrap.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator, Sequence
 
 from .client import AsyncRequest, DietClient, FunctionHandle
 from .exceptions import GRPC_NO_ERROR
+from .pipeline import DeadlineInterceptor
 from .profile import Profile, ProfileDesc
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "grpc_call_async",
     "grpc_cancel",
     "grpc_probe",
+    "grpc_set_deadline",
     "grpc_wait",
     "grpc_wait_all",
     "grpc_wait_any",
@@ -88,3 +90,18 @@ def grpc_wait_all(client: DietClient) -> Generator[Any, Any, Dict[int, int]]:
 def grpc_wait_any(client: DietClient) -> Generator[Any, Any, int]:
     sid = yield from client.wait_any()
     return sid
+
+
+def grpc_set_deadline(client: DietClient, deadline: float, retries: int = 0,
+                      backoff: float = 0.0,
+                      ops: Sequence[str] = ("submit", "solve")) -> DeadlineInterceptor:
+    """Give the client's calls a deadline (with optional retry/backoff).
+
+    Installs a :class:`DeadlineInterceptor` on the client's endpoint — the
+    same mechanism that bounds the agents' estimate fan-out — and returns it
+    so it can be removed later (``client.endpoint.pipeline.remove(...)``).
+    A call whose reply misses every deadline raises
+    :class:`~repro.core.exceptions.DeadlineExceededError`.
+    """
+    return client.endpoint.pipeline.add(
+        DeadlineInterceptor(deadline, retries=retries, backoff=backoff, ops=ops))

@@ -15,12 +15,15 @@ whether LogCentral is deployed or not — a test asserts this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from ..sim.engine import Engine, Event
 from ..sim.network import Host
-from .transport import Endpoint, TransportFabric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle:
+    # transport -> pipeline -> logservice; post_event is duck-typed).
+    from .transport import Endpoint, TransportFabric
 
 __all__ = ["LogEvent", "LogCentral", "post_event"]
 

@@ -1,0 +1,499 @@
+"""Composable interceptor pipeline for the DIET message path.
+
+Every message that crosses the transport — client submit, agent estimate
+fan-out, SeD solve, monitoring posts — travels as a :class:`MessageContext`
+envelope through an ordered chain of interceptors.  The paper's whole
+evaluation (finding time ≈ 49.8 ms, latency growth, ≈ 70.6 ms/simulation
+overhead) is a property of this client → MA → LA → SeD path, so the
+concerns that used to be hand-inlined per component are expressed once,
+as stock interceptors that compose on the one path:
+
+* :class:`MarshallingInterceptor` — the calibrated CORBA cost model
+  (fixed + per-byte marshalling, server-side dispatch);
+* :class:`AccountingInterceptor` — message/byte counters plus drop,
+  dead-letter and duplicate-suppression marks;
+* :class:`TracingInterceptor` — feeds
+  :class:`~repro.core.statistics.RequestTrace` lifecycle stamps and emits
+  LogCentral events, replacing the ad-hoc call sites that used to live in
+  ``client.py`` / ``agent.py`` / ``sed.py``;
+* :class:`DeadlineInterceptor` — one timeout/retry/backoff mechanism shared
+  by the MA/LA estimate fan-out and client-side solve deadlines;
+* :class:`FaultInjectionInterceptor` — message drop / delay / duplicate by
+  named RNG stream, for the failure-injection test suite.
+
+A message passes four phases:
+
+``send``
+    in the sender's process, before the network transfer (marshalling);
+``deliver``
+    in the receiver's handler process, before the handler runs (dispatch);
+``reply``
+    in the spawned reply process, before the reply crosses the network;
+``complete``
+    back in the caller's process, once the RPC reply has arrived.
+
+Interceptor hooks are generator functions so they can charge simulated
+time (``yield engine.timeout(...)``).  Chains are layered like a protocol
+stack: on *outbound* phases (``send``, ``reply``) the local endpoint's
+interceptors run before the fabric-wide ones (application → wire); on
+*inbound* phases (``deliver``, ``complete``) the fabric chain runs first
+(wire → application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..sim.engine import Engine, Event
+from .logservice import post_event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .statistics import Tracer
+    from .transport import Endpoint, Message, TransportFabric, TransportParams
+
+__all__ = [
+    "MessageContext",
+    "MessageDropped",
+    "Interceptor",
+    "InterceptorPipeline",
+    "RpcPolicy",
+    "MarshallingInterceptor",
+    "AccountingInterceptor",
+    "TracingInterceptor",
+    "DeadlineInterceptor",
+    "FaultInjectionInterceptor",
+]
+
+#: Phase names, in path order.
+PHASES = ("send", "deliver", "reply", "complete")
+
+#: Phases where the endpoint chain wraps the fabric chain (application
+#: layers run closest to the handler, wire layers closest to the network).
+OUTBOUND_PHASES = frozenset({"send", "reply"})
+
+
+class MessageDropped(Exception):
+    """Control-flow signal: an interceptor swallowed the message.
+
+    The transport treats a dropped message as silently lost: a one-way send
+    vanishes; an RPC request or reply never arrives, leaving the caller to
+    its deadline (install a :class:`DeadlineInterceptor` when injecting
+    drops, exactly as a real deployment pairs fault tolerance with
+    timeouts).
+    """
+
+
+@dataclass
+class MessageContext:
+    """The envelope an in-flight message travels in through one phase.
+
+    ``nbytes`` is the size of the *current leg* — the request payload on
+    ``send``/``deliver``, the reply payload on ``reply``/``complete`` — and
+    is mutable so compression-style interceptors can rewrite it before the
+    wire cost is charged.
+    """
+
+    fabric: "TransportFabric"
+    message: "Message"
+    endpoint: "Endpoint"
+    nbytes: int
+    phase: str = "send"
+    #: "ok" / "error" on the reply/complete legs, None on the request legs.
+    reply_status: Optional[str] = None
+    reply_value: Any = None
+    #: Retry attempt this message belongs to (0 = first try).
+    attempt: int = 0
+    #: Free-form annotations interceptors leave for each other.
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def engine(self) -> Engine:
+        return self.fabric.engine
+
+    @property
+    def op(self) -> str:
+        return self.message.op
+
+    @property
+    def payload(self) -> Any:
+        return self.message.payload
+
+    @property
+    def src(self) -> str:
+        return self.message.src
+
+    @property
+    def dst(self) -> str:
+        return self.message.dst
+
+    @property
+    def is_request(self) -> bool:
+        return self.message.reply_to is not None
+
+    @property
+    def request_id(self) -> Optional[int]:
+        """Request id carried by the payload, when the payload is one of the
+        DIET request descriptors (see :mod:`repro.core.requests`)."""
+        return getattr(self.message.payload, "request_id", None)
+
+    @property
+    def service(self) -> str:
+        """Service path carried by the payload, '' when not a DIET request."""
+        return getattr(self.message.payload, "service_path", "")
+
+    def drop(self, reason: str = "dropped by interceptor") -> None:
+        """Abort the current phase, discarding the message."""
+        raise MessageDropped(reason)
+
+
+@dataclass(frozen=True)
+class RpcPolicy:
+    """Deadline/retry contract a :class:`DeadlineInterceptor` grants an op."""
+
+    deadline: float
+    retries: int = 0
+    backoff: float = 0.0
+
+
+class Interceptor:
+    """Base class: every hook is a generator that may charge simulated time.
+
+    Subclasses override only the phases they care about; the defaults are
+    zero-cost pass-throughs.
+    """
+
+    def intercept_send(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def intercept_deliver(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def intercept_reply(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def intercept_complete(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def rpc_policy(self, op: str) -> Optional[RpcPolicy]:
+        """Deadline/retry policy this interceptor grants RPCs of ``op``."""
+        return None
+
+
+class InterceptorPipeline:
+    """An ordered chain of interceptors."""
+
+    def __init__(self, interceptors: Iterable[Interceptor] = ()):
+        self.interceptors: List[Interceptor] = list(interceptors)
+
+    def add(self, interceptor: Interceptor, index: Optional[int] = None) -> Interceptor:
+        """Append (or insert at ``index``) an interceptor; returns it."""
+        if index is None:
+            self.interceptors.append(interceptor)
+        else:
+            self.interceptors.insert(index, interceptor)
+        return interceptor
+
+    def remove(self, interceptor: Interceptor) -> None:
+        self.interceptors.remove(interceptor)
+
+    def find(self, kind: type) -> Optional[Interceptor]:
+        """First installed interceptor of ``kind``, or None."""
+        for icpt in self.interceptors:
+            if isinstance(icpt, kind):
+                return icpt
+        return None
+
+    def run(self, phase: str, ctx: MessageContext) -> Generator[Event, Any, None]:
+        """Run this chain's hooks for ``phase``, in installation order."""
+        for icpt in list(self.interceptors):
+            yield from getattr(icpt, "intercept_" + phase)(ctx)
+
+    def rpc_policy(self, op: str) -> Optional[RpcPolicy]:
+        for icpt in self.interceptors:
+            policy = icpt.rpc_policy(op)
+            if policy is not None:
+                return policy
+        return None
+
+
+def run_chains(phase: str, endpoint_pipeline: InterceptorPipeline,
+               fabric_pipeline: InterceptorPipeline,
+               ctx: MessageContext) -> Generator[Event, Any, None]:
+    """Run the layered chain for one phase (see module docstring)."""
+    ctx.phase = phase
+    if phase in OUTBOUND_PHASES:
+        order = (endpoint_pipeline, fabric_pipeline)
+    else:
+        order = (fabric_pipeline, endpoint_pipeline)
+    for pipeline in order:
+        yield from pipeline.run(phase, ctx)
+
+
+# ---------------------------------------------------------------------------
+# stock interceptors
+# ---------------------------------------------------------------------------
+
+
+class MarshallingInterceptor(Interceptor):
+    """The calibrated CORBA cost model as a pipeline stage.
+
+    Charges the mid-2000s omniORB figures that used to be inlined in the
+    transport's send/reply paths: ``marshal_fixed + marshal_per_byte * n``
+    on each outbound leg, ``dispatch_fixed`` on delivery.  These defaults
+    are what makes the §5.1 round trip average the paper's 49.8 ms finding
+    time — see :class:`~repro.core.transport.TransportParams`.
+    """
+
+    def __init__(self, params: "TransportParams"):
+        self.params = params
+
+    def intercept_send(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        yield ctx.engine.timeout(
+            self.params.marshal_fixed + self.params.marshal_per_byte * ctx.nbytes)
+
+    def intercept_deliver(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        yield ctx.engine.timeout(self.params.dispatch_fixed)
+
+    def intercept_reply(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        yield ctx.engine.timeout(
+            self.params.marshal_fixed + self.params.marshal_per_byte * ctx.nbytes)
+
+
+class AccountingInterceptor(Interceptor):
+    """Counts traffic on the wire: messages, bytes, per-op breakdown.
+
+    The transport also reports exceptional outcomes here (`note_dropped`,
+    `note_dead_letter`, `note_suppressed_reply`) so the counters describe
+    the full fate of every message.
+    """
+
+    def __init__(self):
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_by_op: Dict[str, int] = {}
+        #: Messages swallowed by a fault-injection (or other) interceptor.
+        self.messages_dropped = 0
+        #: Requests/replies that could never be delivered (endpoint stopped
+        #: or unbound mid-flight); their callers got a CommunicationError.
+        self.dead_letters = 0
+        #: Duplicate replies suppressed by at-most-once RPC semantics.
+        self.replies_suppressed = 0
+
+    def _count(self, ctx: MessageContext) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += ctx.nbytes
+        self.messages_by_op[ctx.op] = self.messages_by_op.get(ctx.op, 0) + 1
+
+    def intercept_send(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        self._count(ctx)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def intercept_reply(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        self._count(ctx)
+        return
+        yield  # pragma: no cover - generator marker
+
+    # -- exceptional outcomes (reported by the transport) -----------------------
+
+    def note_dropped(self) -> None:
+        self.messages_dropped += 1
+
+    def note_dead_letter(self) -> None:
+        self.dead_letters += 1
+
+    def note_suppressed_reply(self) -> None:
+        self.replies_suppressed += 1
+
+
+class TracingInterceptor(Interceptor):
+    """Feeds :class:`RequestTrace` stamps and LogCentral from the pipeline.
+
+    Installed on a client endpoint it records the request lifecycle the
+    figures are built from (submitted → found → data sent → completed);
+    installed on a SeD endpoint it records data arrival.  Components also
+    route their application-level monitoring events through :meth:`emit`,
+    which both journals to the in-process :class:`Tracer` and posts a
+    fire-and-forget LogCentral message — one call site instead of parallel
+    ``tracer.log`` / ``post_event`` side-channels.
+
+    None of the hooks charge simulated time, so tracing never perturbs the
+    calibrated control path (a LogService test asserts this).
+    """
+
+    #: ops whose request/reply legs carry client-lifecycle stamps
+    SUBMIT_OP = "submit"
+    SOLVE_OP = "solve"
+
+    def __init__(self, tracer: "Tracer", log_central: Optional[str] = None):
+        self.tracer = tracer
+        self.log_central = log_central
+
+    # -- application-level events ------------------------------------------------
+
+    def emit(self, endpoint: "Endpoint", kind: str, **info: Any) -> None:
+        """Journal an event locally and post it to LogCentral (if deployed)."""
+        self.tracer.log(endpoint.fabric.engine.now, kind, **info)
+        post_event(endpoint, self.log_central, kind, **info)
+
+    # -- message-path stamps -------------------------------------------------------
+
+    def intercept_send(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        rid = ctx.request_id
+        if rid is not None:
+            now = ctx.engine.now
+            if ctx.op == self.SUBMIT_OP:
+                self.tracer.trace(rid, ctx.service).submitted_at = now
+            elif ctx.op == self.SOLVE_OP:
+                self.tracer.trace(rid, ctx.service).data_sent_at = now
+        return
+        yield  # pragma: no cover - generator marker
+
+    def intercept_deliver(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        rid = ctx.request_id
+        if rid is not None and ctx.op == self.SOLVE_OP:
+            now = ctx.engine.now
+            trace = self.tracer.trace(rid, ctx.service)
+            trace.data_arrived_at = now
+            self.tracer.log(now, "data-arrived",
+                            sed=ctx.endpoint.name, request_id=rid)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def intercept_complete(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        rid = ctx.request_id
+        if rid is None or ctx.reply_status != "ok":
+            return
+        now = ctx.engine.now
+        if ctx.op == self.SUBMIT_OP:
+            trace = self.tracer.trace(rid, ctx.service)
+            trace.found_at = now
+            if isinstance(ctx.reply_value, tuple) and ctx.reply_value:
+                trace.sed_name = ctx.reply_value[0]
+        elif ctx.op == self.SOLVE_OP:
+            trace = self.tracer.trace(rid, ctx.service)
+            trace.completed_at = now
+            reply = ctx.reply_value
+            trace.status = getattr(reply, "status", trace.status)
+            # The tracer is usually shared with the SeD in-process; when it
+            # is not (separate tracers in tests) the reply timestamps fill
+            # the server-side gaps.
+            if trace.solve_started_at is None:
+                trace.solve_started_at = getattr(reply, "solve_started_at", None)
+            if trace.solve_ended_at is None:
+                trace.solve_ended_at = getattr(reply, "solve_ended_at", None)
+        return
+        yield  # pragma: no cover - generator marker
+
+
+class DeadlineInterceptor(Interceptor):
+    """One timeout/retry mechanism for every RPC on the path.
+
+    Grants matching ops an :class:`RpcPolicy`: the caller's
+    :meth:`Endpoint.rpc` races the reply against the deadline, retries up
+    to ``retries`` times (waiting ``backoff * attempt`` between tries) and
+    raises :class:`DeadlineExceededError` once the budget is spent.  This
+    generalizes what used to be the agents' private ``child_timeout``
+    fan-out guard so client-side solve deadlines and the MA/LA estimate
+    collection share a single mechanism.
+    """
+
+    def __init__(self, deadline: float, retries: int = 0, backoff: float = 0.0,
+                 ops: Optional[Sequence[str]] = None):
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.deadline = float(deadline)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.ops: Optional[Tuple[str, ...]] = tuple(ops) if ops is not None else None
+
+    def rpc_policy(self, op: str) -> Optional[RpcPolicy]:
+        if self.ops is not None and op not in self.ops:
+            return None
+        return RpcPolicy(self.deadline, self.retries, self.backoff)
+
+
+class FaultInjectionInterceptor(Interceptor):
+    """Drop / delay / duplicate messages, driven by a named RNG stream.
+
+    Probabilistic faults draw from ``rng`` (a numpy Generator, e.g.
+    ``RandomStreams(seed).get("faults")``) so runs stay reproducible under
+    the stream-splitting discipline; :meth:`drop_next` arms deterministic
+    drops for targeted tests.  Filters narrow the blast radius to specific
+    ``ops`` and ``phases``.
+
+    Dropping a request or reply silently loses it — pair with a
+    :class:`DeadlineInterceptor` on the caller so the loss is recovered
+    (retry) or surfaced (DeadlineExceededError) instead of hanging.
+    """
+
+    def __init__(self, rng: Any = None, *, drop: float = 0.0,
+                 delay: float = 0.0, delay_prob: float = 1.0,
+                 duplicate: float = 0.0,
+                 ops: Optional[Sequence[str]] = None,
+                 phases: Sequence[str] = ("deliver",)):
+        unknown = set(phases) - set(PHASES)
+        if unknown:
+            raise ValueError(f"unknown phases: {sorted(unknown)}")
+        if any(p < 0 or p > 1 for p in (drop, delay_prob, duplicate)):
+            raise ValueError("probabilities must be within [0, 1]")
+        self.rng = rng
+        self.drop = float(drop)
+        self.delay = float(delay)
+        self.delay_prob = float(delay_prob)
+        self.duplicate = float(duplicate)
+        self.ops: Optional[Tuple[str, ...]] = tuple(ops) if ops is not None else None
+        self.phases = tuple(phases)
+        self._drop_next = 0
+        #: Observability for assertions in tests.
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+
+    def drop_next(self, n: int = 1) -> None:
+        """Deterministically drop the next ``n`` matching messages."""
+        self._drop_next += int(n)
+
+    def _matches(self, ctx: MessageContext) -> bool:
+        if ctx.phase not in self.phases:
+            return False
+        return self.ops is None or ctx.op in self.ops
+
+    def _chance(self, p: float) -> bool:
+        return p > 0 and self.rng is not None and float(self.rng.random()) < p
+
+    def _apply(self, ctx: MessageContext) -> Generator[Event, Any, None]:
+        if not self._matches(ctx):
+            return
+        if self._drop_next > 0 or self._chance(self.drop):
+            if self._drop_next > 0:
+                self._drop_next -= 1
+            self.dropped += 1
+            ctx.drop(f"fault injection dropped {ctx.op!r}#{ctx.message.msg_id}")
+        if self.delay > 0 and (self.delay_prob >= 1.0 or self._chance(self.delay_prob)):
+            self.delayed += 1
+            yield ctx.engine.timeout(self.delay)
+        if ctx.phase == "send" and self._chance(self.duplicate):
+            self.duplicated += 1
+            ctx.meta["duplicates"] = ctx.meta.get("duplicates", 0) + 1
+
+    intercept_send = _apply
+    intercept_deliver = _apply
+    intercept_reply = _apply

@@ -28,6 +28,11 @@ class EstimateRequest:
     client_host: str
     request_nbytes: int = 0
 
+    @property
+    def service_path(self) -> str:
+        """Uniform service accessor for the tracing pipeline."""
+        return self.service_desc.path
+
 
 @dataclass
 class SubmitRequest:
@@ -43,6 +48,11 @@ class SubmitRequest:
     #: consumed by locality-aware schedulers.
     resident_bytes: Dict[str, int] = field(default_factory=dict)
 
+    @property
+    def service_path(self) -> str:
+        """Uniform service accessor for the tracing pipeline."""
+        return self.service_desc.path
+
 
 @dataclass
 class SolveRequest:
@@ -51,6 +61,11 @@ class SolveRequest:
     request_id: int
     profile: Profile
     client_endpoint: str
+
+    @property
+    def service_path(self) -> str:
+        """Uniform service accessor for the tracing pipeline."""
+        return self.profile.path
 
 
 @dataclass

@@ -24,7 +24,7 @@ from ..platform.nfs import NfsVolume
 from .cori import CoRI
 from .data import DataHandle, Direction
 from .exceptions import DataError, DietError
-from .logservice import post_event
+from .pipeline import TracingInterceptor
 from .profile import Profile, ProfileDesc, ServiceTable, SolveFunc
 from .requests import EstimateRequest, SolveReply, SolveRequest
 from .statistics import Tracer
@@ -97,6 +97,10 @@ class SeD:
         self.cori = CoRI(self.engine, host, fabric.network,
                          collect_time=self.params.estimate_collect_time)
         self.endpoint: Endpoint = fabric.endpoint(name, host.name)
+        #: Stamps data arrival on incoming solves (deliver phase) and gives
+        #: solve_start / solve_end one emit() call site for tracer+LogCentral.
+        self.tracing = self.endpoint.pipeline.add(
+            TracingInterceptor(self.tracer, log_central))
         self.endpoint.on("estimate", self._handle_estimate)
         self.endpoint.on("solve", self._handle_solve)
         self.endpoint.on("fetch_data", self._handle_fetch_data)
@@ -199,9 +203,9 @@ class SeD:
     def _handle_solve(self, msg) -> Generator[Event, Any, tuple]:
         req: SolveRequest = msg.payload
         profile: Profile = req.profile
+        # Arrival already stamped by the endpoint's TracingInterceptor
+        # (deliver phase); this fetches the same trace record.
         trace = self.tracer.trace(req.request_id, profile.path)
-        self.tracer.log(self.engine.now, "data-arrived",
-                        sed=self.name, request_id=req.request_id)
         try:
             yield from self._resolve_handles(profile)
         except DataError as exc:
@@ -213,12 +217,14 @@ class SeD:
 
         slot = yield from self.job_slots.acquire()
         try:
+            # Slot granted: the queue wait is over, initiation begins.
+            trace.init_started_at = self.engine.now
             # Service initiation: fork of the solve function, MPI env setup.
             yield self.engine.timeout(self.params.service_init_time)
             started = self.engine.now
             trace.solve_started_at = started
-            post_event(self.endpoint, self.log_central, "solve_start",
-                       request_id=req.request_id, service=profile.path)
+            self.tracing.emit(self.endpoint, "solve_start",
+                              request_id=req.request_id, service=profile.path)
             desc, solve_func = self.table.lookup(profile.path)
             ctx = SolveContext(self.engine, self.host, self, self.nfs)
             try:
@@ -238,9 +244,9 @@ class SeD:
         finally:
             self.job_slots.release(slot)
 
-        post_event(self.endpoint, self.log_central, "solve_end",
-                   request_id=req.request_id, service=profile.path,
-                   duration=ended - started, status=status)
+        self.tracing.emit(self.endpoint, "solve_end",
+                          request_id=req.request_id, service=profile.path,
+                          duration=ended - started, status=status)
         duration = ended - started
         self.solve_count += 1
         self.solve_durations.append(duration)

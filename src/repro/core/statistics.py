@@ -30,6 +30,10 @@ class RequestTrace:
     found_at: Optional[float] = None
     sed_name: Optional[str] = None
     data_sent_at: Optional[float] = None
+    #: SeD side: solve request delivered (stamped by TracingInterceptor).
+    data_arrived_at: Optional[float] = None
+    #: SeD side: job slot granted, service initiation begins.
+    init_started_at: Optional[float] = None
     solve_started_at: Optional[float] = None
     solve_ended_at: Optional[float] = None
     completed_at: Optional[float] = None
@@ -50,6 +54,22 @@ class RequestTrace:
         return self.solve_started_at - self.found_at
 
     @property
+    def queue_wait(self) -> Optional[float]:
+        """Time between data arrival at the SeD and the job slot opening —
+        the workload-induced wait the paper excludes from overhead."""
+        if self.data_arrived_at is None or self.init_started_at is None:
+            return None
+        return self.init_started_at - self.data_arrived_at
+
+    @property
+    def initiation_time(self) -> Optional[float]:
+        """Pure service initiation (fork + MPI env setup), queue wait
+        excluded — the paper's §5.2 "about 20.8 ms" per execution."""
+        if self.init_started_at is None or self.solve_started_at is None:
+            return None
+        return self.solve_started_at - self.init_started_at
+
+    @property
     def solve_duration(self) -> Optional[float]:
         if self.solve_started_at is None or self.solve_ended_at is None:
             return None
@@ -67,7 +87,12 @@ class RequestTrace:
 
         The paper counts finding time + service initiation (it excludes the
         inter-simulation wait, which is workload, not middleware)."""
-        if self.finding_time is None or self.solve_duration is None:
+        if self.finding_time is None:
+            return None
+        if self.initiation_time is not None:
+            # Queue wait measured exactly at the SeD: exclude it.
+            return self.finding_time + self.initiation_time
+        if self.solve_duration is None:
             return None
         if self.completed_at is None or self.data_sent_at is None:
             return None
@@ -111,6 +136,14 @@ class Tracer:
         return [t.latency for t in self.all_traces(service)
                 if t.latency is not None]
 
+    def initiation_times(self, service: Optional[str] = None) -> List[float]:
+        return [t.initiation_time for t in self.all_traces(service)
+                if t.initiation_time is not None]
+
+    def queue_waits(self, service: Optional[str] = None) -> List[float]:
+        return [t.queue_wait for t in self.all_traces(service)
+                if t.queue_wait is not None]
+
     def gantt(self, service: Optional[str] = None) -> Dict[str, List[tuple]]:
         """Per-SeD list of (start, end, request_id) solve spans, sorted."""
         chart: Dict[str, List[tuple]] = {}
@@ -136,9 +169,11 @@ class Tracer:
     # -- export (LogCentral dumps) ---------------------------------------------------
 
     _CSV_FIELDS = ("request_id", "service", "sed_name", "submitted_at",
-                   "found_at", "data_sent_at", "solve_started_at",
+                   "found_at", "data_sent_at", "data_arrived_at",
+                   "init_started_at", "solve_started_at",
                    "solve_ended_at", "completed_at", "status",
-                   "finding_time", "latency", "solve_duration")
+                   "finding_time", "latency", "queue_wait",
+                   "initiation_time", "solve_duration")
 
     def to_records(self, service: Optional[str] = None) -> List[dict]:
         """One plain dict per request (raw timestamps + derived metrics)."""

@@ -6,25 +6,49 @@ simulated hosts, exchanging :class:`Message` objects whose delivery costs
 
     marshal(client) + network(latency, bandwidth, size) + unmarshal(server)
 
-The marshalling model is calibrated to mid-2000s omniORB figures: a fixed
-per-invocation cost plus a per-byte cost, both charged as simulated time.
+Every cost, counter and trace stamp on that path is charged by the
+interceptor pipeline (:mod:`repro.core.pipeline`): a message travels as a
+:class:`~repro.core.pipeline.MessageContext` through the ``send`` chain in
+the sender, the ``deliver`` chain in the receiver, the ``reply`` chain in
+the replier and the ``complete`` chain back in the caller.  The fabric
+installs the calibrated :class:`MarshallingInterceptor` (mid-2000s omniORB
+figures: fixed per-invocation + per-byte cost) and an
+:class:`AccountingInterceptor`; components layer tracing, deadlines and
+fault injection on their endpoints' own chains.
+
 An RPC is a request message carrying a reply-to token; :meth:`Endpoint.rpc`
-suspends the calling process until the reply arrives.
+suspends the calling process until the reply arrives — or, when a
+:class:`DeadlineInterceptor` grants the operation a policy, until the
+deadline expires, with optional retries before
+:class:`DeadlineExceededError` is raised.
 
 A :class:`TransportFabric` owns the endpoint namespace — this doubles as
 the omniNames-like naming service (endpoints are resolved by string name).
+Reply delivery is at-most-once: a request whose reply can no longer arrive
+(receiver stopped or unbound mid-flight) fails with
+:class:`CommunicationError` instead of suspending the caller forever, and
+duplicate replies are suppressed with an accounting mark.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Iterable, Optional
 
 from ..sim.engine import Engine, Event
 from ..sim.network import Network
 from ..sim.resources import Store
-from .exceptions import CommunicationError
+from .exceptions import CommunicationError, DeadlineExceededError
+from .pipeline import (
+    AccountingInterceptor,
+    Interceptor,
+    InterceptorPipeline,
+    MarshallingInterceptor,
+    MessageContext,
+    MessageDropped,
+    run_chains,
+)
 
 __all__ = ["TransportParams", "Message", "Endpoint", "TransportFabric"]
 
@@ -35,7 +59,8 @@ class TransportParams:
 
     Defaults are calibrated (see ``experiments/calibration.py``) so that the
     full MA/LA/SeD estimate round trip over the §5.1 topology averages the
-    paper's 49.8 ms finding time.
+    paper's 49.8 ms finding time.  The charges themselves are applied by the
+    fabric's :class:`MarshallingInterceptor`.
     """
 
     #: CPU cost to marshal one invocation (CORBA stub + ORB dispatch), s.
@@ -74,15 +99,27 @@ class Endpoint:
     a handler *process* so a slow solve does not block the mailbox.  A
     handler is a generator function ``handler(message) -> (value, nbytes)``;
     its return value is shipped back as the RPC reply.
+
+    Each endpoint owns an :class:`InterceptorPipeline`; its chain wraps the
+    fabric-wide one like a protocol stack (endpoint hooks run closest to the
+    application, fabric hooks closest to the wire).
     """
 
-    def __init__(self, fabric: "TransportFabric", name: str, host_name: str):
+    def __init__(self, fabric: "TransportFabric", name: str, host_name: str,
+                 interceptors: Iterable[Interceptor] = ()):
         self.fabric = fabric
         self.name = name
         self.host_name = host_name
         self.mailbox: Store = Store(fabric.engine)
+        self.pipeline = InterceptorPipeline(interceptors)
         self._handlers: Dict[str, Callable] = {}
         self._serving = False
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`stop` (or :meth:`TransportFabric.unbind`) ran."""
+        return self._closed
 
     # -- handler registration --------------------------------------------------
 
@@ -92,6 +129,8 @@ class Endpoint:
 
     def start(self) -> None:
         """Start the serving loop (idempotent)."""
+        if self._closed:
+            raise CommunicationError(f"endpoint {self.name!r} is stopped")
         if not self._serving:
             self._serving = True
             self.fabric.engine.process(self._serve_loop(), name=f"serve:{self.name}")
@@ -102,36 +141,60 @@ class Endpoint:
             msg = yield self.mailbox.get()
             if msg is _SHUTDOWN:
                 return
+            if self._closed:
+                # stop() raced with an arriving message: dead-letter it.
+                self.fabric._dead_letter(msg, f"endpoint {self.name!r} stopped")
+                continue
             handler = self._handlers.get(msg.op)
             if handler is None:
                 if msg.reply_to is not None:
                     err = CommunicationError(
                         f"endpoint {self.name!r} has no handler for {msg.op!r}")
-                    self.fabric._deliver_reply(msg, ("error", err), 128)
+                    self.fabric._deliver_reply(msg, self, "error", err, 128)
                 continue
             engine.process(self._handle(handler, msg),
                            name=f"{self.name}:{msg.op}#{msg.msg_id}")
 
     def _handle(self, handler: Callable, msg: Message) -> Generator[Event, Any, None]:
-        engine = self.fabric.engine
-        # Server-side dispatch cost.
-        yield engine.timeout(self.fabric.params.dispatch_fixed)
+        ctx = MessageContext(self.fabric, msg, self, msg.nbytes)
+        try:
+            # Server-side dispatch cost + any deliver-side interceptors.
+            yield from run_chains("deliver", self.pipeline, self.fabric.pipeline, ctx)
+        except MessageDropped:
+            self.fabric.accounting.note_dropped()
+            return
         try:
             result = yield from handler(msg)
         except Exception as exc:  # ship failures back to the caller
             if msg.reply_to is not None:
-                self.fabric._deliver_reply(msg, ("error", exc), 128)
+                self.fabric._deliver_reply(msg, self, "error", exc, 128)
                 return
             raise
         if msg.reply_to is not None:
             value, nbytes = result if isinstance(result, tuple) else (result, None)
             if nbytes is None:
                 nbytes = self.fabric.params.control_payload
-            self.fabric._deliver_reply(msg, ("ok", value), nbytes)
+            self.fabric._deliver_reply(msg, self, "ok", value, nbytes)
 
     def stop(self) -> None:
-        self.mailbox.put(_SHUTDOWN)
-        self._serving = False
+        """Stop serving; queued requests are dead-lettered, not stranded.
+
+        Any request already in the mailbox (or racing in behind the shutdown)
+        has its ``reply_to`` failed with :class:`CommunicationError` so the
+        caller resumes instead of suspending forever.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while True:
+            msg = self.mailbox.try_get()
+            if msg is None:
+                break
+            if msg is not _SHUTDOWN:
+                self.fabric._dead_letter(msg, f"endpoint {self.name!r} stopped")
+        if self._serving:
+            self.mailbox.put(_SHUTDOWN)
+            self._serving = False
 
     # -- sending ---------------------------------------------------------------
 
@@ -144,14 +207,42 @@ class Endpoint:
             nbytes: Optional[int] = None) -> Generator[Event, Any, Any]:
         """Remote invocation; suspends until the reply arrives.
 
-        Returns the handler's value; re-raises the handler's exception.
+        Returns the handler's value; re-raises the handler's exception.  When
+        a :class:`DeadlineInterceptor` (endpoint chain first, then fabric)
+        grants ``op`` a policy, the reply is raced against the deadline and
+        the request re-sent up to ``retries`` times (waiting ``backoff *
+        attempt`` between tries) before :class:`DeadlineExceededError`.
         """
-        reply = Event(self.fabric.engine)
-        yield from self.fabric._transmit(self, dst, op, payload, nbytes, reply_to=reply)
-        status, value = yield reply
-        if status == "error":
-            raise value
-        return value
+        engine = self.fabric.engine
+        policy = self.pipeline.rpc_policy(op) or self.fabric.pipeline.rpc_policy(op)
+        attempt = 0
+        while True:
+            reply = Event(engine)
+            msg = yield from self.fabric._transmit(
+                self, dst, op, payload, nbytes, reply_to=reply, attempt=attempt)
+            if policy is None:
+                result = yield reply
+            else:
+                yield engine.any_of([reply, engine.timeout(policy.deadline)])
+                if not reply.triggered:
+                    if attempt < policy.retries:
+                        attempt += 1
+                        if policy.backoff > 0:
+                            yield engine.timeout(policy.backoff * attempt)
+                        continue
+                    raise DeadlineExceededError(
+                        f"rpc {op!r} to {dst!r} exceeded {policy.deadline}s "
+                        f"deadline after {attempt + 1} attempt(s)")
+                result = reply.value
+            status, value, reply_nbytes = result
+            ctx = MessageContext(self.fabric, msg, self, reply_nbytes,
+                                 reply_status=status, reply_value=value,
+                                 attempt=attempt)
+            yield from run_chains("complete", self.pipeline,
+                                  self.fabric.pipeline, ctx)
+            if status == "error":
+                raise value
+            return value
 
 
 _SHUTDOWN = object()
@@ -167,19 +258,31 @@ class TransportFabric:
         self.params = params or TransportParams()
         self._endpoints: Dict[str, Endpoint] = {}
         self._msg_ids = itertools.count(1)
-        #: Counters for the statistics layer.
-        self.messages_sent = 0
-        self.bytes_sent = 0
+        #: Fabric-wide chain: cost model first (wire time), then accounting.
+        self.pipeline = InterceptorPipeline()
+        self.marshalling = self.pipeline.add(MarshallingInterceptor(self.params))
+        self.accounting = self.pipeline.add(AccountingInterceptor())
+
+    # -- counters (kept as properties for the statistics layer) -----------------
+
+    @property
+    def messages_sent(self) -> int:
+        return self.accounting.messages_sent
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.accounting.bytes_sent
 
     # -- naming service (omniNames substitute) -----------------------------------
 
-    def endpoint(self, name: str, host_name: str) -> Endpoint:
+    def endpoint(self, name: str, host_name: str,
+                 interceptors: Iterable[Interceptor] = ()) -> Endpoint:
         """Create and register a named endpoint on ``host_name``."""
         if name in self._endpoints:
             raise CommunicationError(f"endpoint name {name!r} already bound")
         # Validate the host exists up front.
         self.network.host(host_name)
-        ep = Endpoint(self, name, host_name)
+        ep = Endpoint(self, name, host_name, interceptors)
         self._endpoints[name] = ep
         return ep
 
@@ -196,33 +299,82 @@ class TransportFabric:
 
     # -- delivery -----------------------------------------------------------------
 
+    def _dead_letter(self, msg: Message, reason: str) -> None:
+        """A message that can never be processed: resume its caller (if any)
+        with :class:`CommunicationError` instead of stranding it."""
+        self.accounting.note_dead_letter()
+        if msg.reply_to is not None and not msg.reply_to.triggered:
+            msg.reply_to.succeed(("error", CommunicationError(reason), 0))
+
     def _transmit(self, src: Endpoint, dst_name: str, op: str, payload: Any,
-                  nbytes: Optional[int], reply_to: Optional[Event]
-                  ) -> Generator[Event, Any, None]:
+                  nbytes: Optional[int], reply_to: Optional[Event],
+                  attempt: int = 0) -> Generator[Event, Any, Message]:
         dst = self.resolve(dst_name)
+        if dst.closed:
+            raise CommunicationError(f"endpoint {dst_name!r} is stopped")
         size = self.params.control_payload if nbytes is None else int(nbytes)
         msg = Message(next(self._msg_ids), src.name, dst_name, op, payload,
                       size, reply_to, sent_at=self.engine.now)
-        # Sender-side marshalling cost.
-        yield self.engine.timeout(
-            self.params.marshal_fixed + self.params.marshal_per_byte * size)
-        self.messages_sent += 1
-        self.bytes_sent += size
-        yield from self.network.transfer(src.host_name, dst.host_name, size)
+        ctx = MessageContext(self, msg, src, size, attempt=attempt)
+        try:
+            # Sender-side chain: marshalling cost, accounting, tracing, faults.
+            yield from run_chains("send", src.pipeline, self.pipeline, ctx)
+        except MessageDropped:
+            self.accounting.note_dropped()
+            return msg
+        yield from self.network.transfer(src.host_name, dst.host_name, ctx.nbytes)
+        # The destination may have stopped or been unbound while the message
+        # was on the wire; surface that to the sender rather than parking the
+        # message in a mailbox nobody will ever read.
+        if self._endpoints.get(dst_name) is not dst or dst.closed:
+            self.accounting.note_dead_letter()
+            raise CommunicationError(
+                f"endpoint {dst_name!r} vanished while {op!r} was in flight")
         msg.delivered_at = self.engine.now
         dst.mailbox.put(msg)
+        for _ in range(ctx.meta.get("duplicates", 0)):
+            dst.mailbox.put(msg)
+        return msg
 
-    def _deliver_reply(self, request: Message, value: Any, nbytes: int) -> None:
-        """Ship an RPC reply back asynchronously (spawned process)."""
+    def _deliver_reply(self, request: Message, replier: Endpoint, status: str,
+                       value: Any, nbytes: int) -> None:
+        """Ship an RPC reply back asynchronously (spawned process).
+
+        Delivery is at-most-once: a duplicate reply (fault injection, or a
+        retry racing a late original) is suppressed with an accounting mark.
+        If the replier or the caller disappeared mid-flight the caller is
+        resumed with :class:`CommunicationError` — never crash the engine on
+        a name that no longer resolves.
+        """
         def _reply_proc() -> Generator[Event, Any, None]:
-            yield self.engine.timeout(
-                self.params.marshal_fixed + self.params.marshal_per_byte * nbytes)
-            self.messages_sent += 1
-            self.bytes_sent += nbytes
-            src_ep = self.resolve(request.dst)   # replying endpoint
-            dst_ep = self.resolve(request.src)   # original caller
-            yield from self.network.transfer(src_ep.host_name, dst_ep.host_name, nbytes)
-            assert request.reply_to is not None
-            request.reply_to.succeed(value)
+            reply_to = request.reply_to
+            assert reply_to is not None
+            if reply_to.triggered:
+                self.accounting.note_suppressed_reply()
+                return
+            ctx = MessageContext(self, request, replier, nbytes,
+                                 reply_status=status, reply_value=value)
+            try:
+                yield from run_chains("reply", replier.pipeline, self.pipeline, ctx)
+            except MessageDropped:
+                self.accounting.note_dropped()
+                return
+            caller = self._endpoints.get(request.src)
+            if replier.closed or self._endpoints.get(request.dst) is not replier:
+                self._dead_letter(
+                    request, f"endpoint {request.dst!r} stopped before its "
+                             f"{request.op!r} reply was sent")
+                return
+            if caller is None or caller.closed:
+                self._dead_letter(
+                    request, f"caller {request.src!r} unbound before its "
+                             f"{request.op!r} reply arrived")
+                return
+            yield from self.network.transfer(replier.host_name, caller.host_name,
+                                             ctx.nbytes)
+            if not reply_to.triggered:
+                reply_to.succeed((status, value, ctx.nbytes))
+            else:
+                self.accounting.note_suppressed_reply()
 
         self.engine.process(_reply_proc(), name=f"reply:{request.op}#{request.msg_id}")

@@ -4,9 +4,7 @@ import pytest
 
 from repro.core import (
     BaseType,
-    DietClient,
     ProfileDesc,
-    SeDParams,
     ServerNotFoundError,
     deploy_paper_hierarchy,
     scalar_desc,
@@ -170,10 +168,10 @@ class TestApplicationFailures:
 
 
 class TestSlowSeDs:
-    def test_agent_timeout_skips_unresponsive_child(self, deployment):
+    def test_agent_timeout_skips_unresponsive_child(self):
         """An estimate that never returns must not hang scheduling forever:
         the agent's child timeout prunes it."""
-        from repro.core import AgentParams
+        from repro.core import AgentParams, FaultInjectionInterceptor
 
         engine = Engine()
         platform = build_grid5000(engine)
@@ -183,14 +181,11 @@ class TestSlowSeDs:
         for sed in dep.seds:
             sed.add_service(desc, solve_ok)
         dep.launch_all()
-        # replace one SeD's estimate handler with an infinite stall
+        # stall one SeD's estimate path via fault injection (the handler
+        # itself is untouched — the message just never reaches it in time)
         stalled = dep.seds[0]
-
-        def never(msg):
-            yield engine.timeout(1e9)
-            return ([], 64)
-
-        stalled.endpoint.on("estimate", never)
+        stalled.endpoint.pipeline.add(FaultInjectionInterceptor(
+            delay=1e9, ops=("estimate",), phases=("deliver",)))
 
         client = dep.client
 
@@ -203,3 +198,55 @@ class TestSlowSeDs:
         status, server = engine.run_process(run(), until=1e8)
         assert status == 0
         assert server != stalled.name
+
+
+class TestLostEstimates:
+    """A dropped estimate request against the agents' retry policy."""
+
+    def _deploy(self, retries):
+        from repro.core import AgentParams, FaultInjectionInterceptor
+
+        engine = Engine()
+        dep = deploy_paper_hierarchy(
+            build_grid5000(engine),
+            agent_params=AgentParams(child_timeout=2.0,
+                                     child_retries=retries))
+        desc = toy_desc()
+        # only one SeD knows the service; losing its estimate loses the call
+        target = dep.seds[0]
+        target.add_service(desc, solve_ok)
+        other = toy_desc("other")
+        for sed in dep.seds[1:]:
+            sed.add_service(other, solve_ok)
+        dep.launch_all()
+        fault = target.endpoint.pipeline.add(
+            FaultInjectionInterceptor(ops=("estimate",), phases=("deliver",)))
+        fault.drop_next(1)
+        return engine, dep, desc, target, fault
+
+    def test_retry_recovers_dropped_estimate(self):
+        engine, dep, desc, target, fault = self._deploy(retries=1)
+        client = dep.client
+
+        def run():
+            client.initialize({"MA_name": "MA"})
+            handle = client.function_handle("toy")
+            status = yield from client.call(fresh_profile(desc), handle)
+            return status, handle.server
+
+        status, server = engine.run_process(run(), until=1e8)
+        assert status == 0
+        assert server == target.name
+        assert fault.dropped == 1
+
+    def test_without_retry_the_request_fails(self):
+        engine, dep, desc, target, fault = self._deploy(retries=0)
+        client = dep.client
+
+        def run():
+            client.initialize({"MA_name": "MA"})
+            yield from client.call(fresh_profile(desc))
+
+        with pytest.raises(ServerNotFoundError):
+            engine.run_process(run(), until=1e8)
+        assert fault.dropped == 1

@@ -1,7 +1,5 @@
 """Unit tests for Local-Agent-level estimate aggregation (§2.1 sorting)."""
 
-import pytest
-
 from repro.core import (
     AgentParams,
     BaseType,
@@ -55,13 +53,13 @@ class TestTopKAggregation:
     def test_top1_ma_sees_one_candidate_per_cluster(self):
         dep = build(top_k=1)
         run_requests(dep, 1)
-        (event,) = [e for e in dep.tracer.events if e[1] == "scheduled"]
+        (event,) = [e for e in dep.tracer.events if e[1] == "schedule"]
         assert event[2]["n_candidates"] == 6     # one per LA, not 11
 
     def test_no_truncation_by_default(self):
         dep = build(top_k=None)
         run_requests(dep, 1)
-        (event,) = [e for e in dep.tracer.events if e[1] == "scheduled"]
+        (event,) = [e for e in dep.tracer.events if e[1] == "schedule"]
         assert event[2]["n_candidates"] == 11
 
     def test_requests_still_complete_under_top1(self):
