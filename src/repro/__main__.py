@@ -17,6 +17,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from .experiments import (
     ablation_scheduler,
+    degraded_campaign,
     figure1_architecture,
     figure2_density,
     figure3_zoom,
@@ -48,6 +49,8 @@ _EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
                 lambda: figure3_zoom.render(figure3_zoom.run())),
     "scaling": ("E10: nodes-per-SeD scaling ablation",
                 lambda: scaling_nodes.render(scaling_nodes.run())),
+    "degraded": ("E11: the campaign under injected SeD failures",
+                 lambda: degraded_campaign.render(degraded_campaign.run())),
 }
 
 

@@ -40,6 +40,7 @@ from .exceptions import (
     ServerNotFoundError,
     ServiceNotFoundError,
 )
+from .liveness import HeartbeatConfig, HeartbeatMonitor
 from .logservice import LogCentral, LogEvent, post_event
 from .pipeline import (
     AccountingInterceptor,
@@ -105,6 +106,8 @@ __all__ = [
     "FaultInjectionInterceptor",
     "FileRef",
     "FunctionHandle",
+    "HeartbeatConfig",
+    "HeartbeatMonitor",
     "Interceptor",
     "InterceptorPipeline",
     "LocalAgent",

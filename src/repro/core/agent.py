@@ -20,6 +20,7 @@ from typing import Any, Generator, List, Optional
 from ..sim.engine import Engine, Event
 from ..sim.network import Host
 from .exceptions import ServerNotFoundError
+from .liveness import HeartbeatConfig, HeartbeatMonitor
 from .pipeline import DeadlineInterceptor, TracingInterceptor
 from .requests import EstimateRequest, SubmitRequest
 from .scheduling import DefaultPolicy, EstimationVector, SchedulerPolicy, SchedulingContext
@@ -49,6 +50,14 @@ class AgentParams:
     #: the stateful default/MCT policies need; a top-k cut trades candidate
     #: visibility for smaller response messages in very wide hierarchies.
     aggregate_top_k: Optional[int] = None
+    #: Seconds between liveness pings to children; None (the default)
+    #: disables the heartbeat monitor entirely, preserving the happy-path
+    #: deployment byte for byte.
+    heartbeat_interval: Optional[float] = None
+    #: Seconds to wait for a pong before counting a miss.
+    heartbeat_timeout: float = 2.0
+    #: Consecutive misses before a child is deregistered.
+    heartbeat_miss_threshold: int = 2
 
 
 class LocalAgent:
@@ -77,6 +86,21 @@ class LocalAgent:
             self.params.child_timeout, retries=self.params.child_retries,
             backoff=self.params.retry_backoff, ops=("estimate",)))
         self.endpoint.on("estimate", self._handle_estimate)
+        self.endpoint.on("register", self._handle_register)
+        self.endpoint.on("ping", self._handle_ping)
+        #: Liveness: with ``heartbeat_interval`` set the agent pings its
+        #: children and deregisters the persistently silent ones, so a
+        #: crashed SeD stops costing a ``child_timeout`` on every request.
+        self.heartbeat: Optional[HeartbeatMonitor] = None
+        if self.params.heartbeat_interval is not None:
+            self.endpoint.pipeline.add(DeadlineInterceptor(
+                self.params.heartbeat_timeout, ops=("ping",)))
+            self.heartbeat = HeartbeatMonitor(self, HeartbeatConfig(
+                interval=self.params.heartbeat_interval,
+                timeout=self.params.heartbeat_timeout,
+                miss_threshold=self.params.heartbeat_miss_threshold))
+        #: Children deregistered by the heartbeat monitor, in event order.
+        self.deregistrations: List[str] = []
         #: Monitoring counters ("the information stored on an agent is the
         #: list of requests, the number of servers that can solve a given
         #: problem...", §2.1).
@@ -87,8 +111,39 @@ class LocalAgent:
             raise ValueError(f"child {endpoint_name!r} already attached to {self.name!r}")
         self.children.append(endpoint_name)
 
+    def remove_child(self, endpoint_name: str) -> bool:
+        """Deregister a child (heartbeat death); True if it was attached."""
+        try:
+            self.children.remove(endpoint_name)
+        except ValueError:
+            return False
+        self.deregistrations.append(endpoint_name)
+        return True
+
     def launch(self) -> None:
         self.endpoint.start()
+        if self.heartbeat is not None:
+            self.heartbeat.launch()
+
+    # -- child (re-)registration ----------------------------------------------------
+
+    def _handle_register(self, msg) -> Generator[Event, Any, tuple]:
+        """A SeD announcing itself (initial deployment wires children
+        directly; this op is how a *restarted* SeD rejoins the hierarchy)."""
+        child: str = msg.payload
+        rejoined = child not in self.children
+        if rejoined:
+            self.children.append(child)
+        if self.heartbeat is not None:
+            self.heartbeat.note_registered(child, rejoined)
+        return ("ok", 64)
+        yield  # pragma: no cover - make this a generator function
+
+    def _handle_ping(self, msg) -> Generator[Event, Any, tuple]:
+        """Liveness probe from the parent's heartbeat monitor (the MA
+        monitors its LAs exactly as LAs monitor their SeDs)."""
+        return ("pong", 64)
+        yield  # pragma: no cover - make this a generator function
 
     # -- estimate fan-out ----------------------------------------------------------
 

@@ -23,10 +23,12 @@ from typing import Any, Dict, Generator, Iterable, Optional
 from ..sim.engine import Engine, Event, Process
 from ..sim.network import Host
 from .exceptions import (
+    CommunicationError,
     InvalidHandleError,
     InvalidSessionError,
     NotCompletedError,
     NotInitializedError,
+    ServerNotFoundError,
 )
 from .pipeline import Interceptor, TracingInterceptor
 from .profile import Profile
@@ -112,6 +114,9 @@ class DietClient:
         self._initialized = False
         self._session_ids = itertools.count(1)
         self._requests: Dict[int, AsyncRequest] = {}
+        #: Calls resubmitted through the MA after a middleware failure
+        #: (:meth:`call_retry`); application failures are never retried.
+        self.resubmissions = 0
 
     # -- session -------------------------------------------------------------------
 
@@ -195,26 +200,70 @@ class DietClient:
             profile.parameter(index).set(value)
         return reply.status
 
+    def call_retry(self, profile: Profile,
+                   handle: Optional[FunctionHandle] = None,
+                   max_attempts: int = 3,
+                   backoff: float = 0.0) -> Generator[Event, Any, int]:
+        """diet_call with resubmission on *middleware* failure.
+
+        A SeD that crashes mid-solve surfaces as
+        :class:`CommunicationError` (its endpoint dead-letters the request);
+        a hierarchy momentarily without candidates surfaces as
+        :class:`ServerNotFoundError`.  Both mean the job was lost, not that
+        it failed — so the profile is resubmitted through the normal MA
+        finding path and a surviving (or restarted) SeD absorbs it.
+        Application failures (non-zero status) return normally and are
+        never retried.  The last attempt's exception propagates.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        attempt = 0
+        while True:
+            try:
+                status = yield from self.call(profile, handle)
+            except (CommunicationError, ServerNotFoundError):
+                attempt += 1
+                if attempt >= max_attempts:
+                    raise
+                self.resubmissions += 1
+                if backoff > 0:
+                    yield self.engine.timeout(backoff * attempt)
+                continue
+            return status
+
     #: Status reported for a cancelled asynchronous call.
     STATUS_CANCELLED = -1
 
     def _cancellable_call(self, profile: Profile,
-                          handle: Optional[FunctionHandle]
+                          handle: Optional[FunctionHandle],
+                          max_attempts: int = 1,
+                          backoff: float = 0.0
                           ) -> Generator[Event, Any, int]:
         from ..sim.engine import Interrupt
 
         try:
-            status = yield from self.call(profile, handle)
+            if max_attempts > 1:
+                status = yield from self.call_retry(
+                    profile, handle, max_attempts=max_attempts, backoff=backoff)
+            else:
+                status = yield from self.call(profile, handle)
         except Interrupt:
             return self.STATUS_CANCELLED
         return status
 
     def call_async(self, profile: Profile,
-                   handle: Optional[FunctionHandle] = None) -> AsyncRequest:
-        """diet_call_async(): returns immediately with a request handle."""
+                   handle: Optional[FunctionHandle] = None,
+                   max_attempts: int = 1,
+                   backoff: float = 0.0) -> AsyncRequest:
+        """diet_call_async(): returns immediately with a request handle.
+
+        ``max_attempts > 1`` makes the in-flight call resubmit on middleware
+        failure with :meth:`call_retry` semantics.
+        """
         self._check_session()
-        proc = self.engine.process(self._cancellable_call(profile, handle),
-                                   name=f"call:{profile.path}")
+        proc = self.engine.process(
+            self._cancellable_call(profile, handle, max_attempts, backoff),
+            name=f"call:{profile.path}")
         req = AsyncRequest(request_id=0, profile=profile, process=proc,
                            _client=self)
         # The request id is only known once the call process starts; expose

@@ -110,7 +110,7 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                     f"(§4.1 requires an NFS working directory)")
             sed = SeD(fabric, host, name=f"SeD-{host.name}", ma_name=ma.name,
                       params=sed_params, tracer=tracer, nfs=cluster.nfs,
-                      log_central=log_name)
+                      log_central=log_name, parent=la.name)
             la.add_child(sed.name)
             seds.append(sed)
 

@@ -1,0 +1,117 @@
+"""Heartbeat-based liveness between an agent and its children.
+
+DIET's real hierarchy learns of dead SeDs only when a CORBA call to them
+fails; combined with estimate timeouts that makes every scheduling round
+pay for every corpse.  The monitor here is the standard fix (and what the
+follow-up grid deployments ran operationally): the parent LA pings each
+child every ``interval`` seconds, a ping unanswered within ``timeout``
+counts as a miss, and ``miss_threshold`` consecutive misses deregister the
+child from the agent — after which scheduling never fans out to it.  A
+restarted SeD re-registers explicitly (the ``register`` op), which clears
+its miss count and re-adds it to the candidate set.
+
+Probes ride the normal RPC path, so they are charged marshalling + network
+time like any other control message and show up in the accounting counters
+— liveness is not free, which is exactly the overhead/responsiveness
+trade-off ``interval`` expresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Tuple, TYPE_CHECKING
+
+from ..sim.engine import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .agent import LocalAgent
+
+__all__ = ["HeartbeatConfig", "HeartbeatMonitor"]
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Liveness protocol knobs (see module docstring)."""
+
+    #: Seconds between ping rounds.
+    interval: float = 5.0
+    #: Seconds to wait for one pong (enforced by a DeadlineInterceptor on
+    #: the agent's endpoint, like every other RPC deadline).
+    timeout: float = 2.0
+    #: Consecutive misses before the child is declared dead.
+    miss_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.timeout <= 0:
+            raise ValueError("heartbeat timeout must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss threshold must be >= 1")
+
+
+class HeartbeatMonitor:
+    """Pings an agent's children; deregisters the persistently silent."""
+
+    def __init__(self, agent: "LocalAgent", config: HeartbeatConfig):
+        self.agent = agent
+        self.config = config
+        self._misses: Dict[str, int] = {}
+        #: (child, time) pairs, in event order.
+        self.deaths: List[Tuple[str, float]] = []
+        self.recoveries: List[Tuple[str, float]] = []
+        self.pings_sent = 0
+        self._proc = None
+
+    def launch(self) -> None:
+        """Start the ping loop (idempotent)."""
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.agent.engine.process(
+                self._beat_loop(), name=f"heartbeat:{self.agent.name}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("monitor stopped")
+            self._proc = None
+
+    def note_registered(self, child: str, rejoined: bool) -> None:
+        """A child (re-)registered: clear its miss count, log the recovery."""
+        self._misses.pop(child, None)
+        if rejoined:
+            self.recoveries.append((child, self.agent.engine.now))
+
+    # -- the protocol ---------------------------------------------------------
+
+    def _beat_loop(self) -> Generator[Event, Any, None]:
+        engine = self.agent.engine
+        try:
+            while True:
+                yield engine.timeout(self.config.interval)
+                # Snapshot: registration during a round must not mutate the
+                # list we are iterating; probes run in parallel, in child
+                # order, so rounds are deterministic.
+                children = list(self.agent.children)
+                if not children:
+                    continue
+                probes = [engine.process(self._probe(c),
+                                         name=f"ping:{self.agent.name}->{c}")
+                          for c in children]
+                yield engine.all_of(probes)
+        except Interrupt:
+            return
+
+    def _probe(self, child: str) -> Generator[Event, Any, None]:
+        self.pings_sent += 1
+        try:
+            yield from self.agent.endpoint.rpc(child, "ping")
+        except Exception:
+            # CommunicationError (unresolvable / crashed mid-flight) or
+            # DeadlineExceededError (no pong in time): one miss either way.
+            misses = self._misses.get(child, 0) + 1
+            self._misses[child] = misses
+            if misses >= self.config.miss_threshold:
+                self._misses.pop(child, None)
+                if self.agent.remove_child(child):
+                    self.deaths.append((child, self.agent.engine.now))
+            return
+        self._misses.pop(child, None)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
-from ..sim.engine import Engine, Event
+from ..sim.engine import Engine, Event, Interrupt
 from ..sim.network import Host
 from ..sim.resources import Resource
 from ..platform.nfs import NfsVolume
@@ -81,12 +81,16 @@ class SeD:
                  tracer: Optional[Tracer] = None,
                  nfs: Optional[NfsVolume] = None,
                  table_size: int = 64,
-                 log_central: Optional[str] = None):
+                 log_central: Optional[str] = None,
+                 parent: Optional[str] = None):
         self.fabric = fabric
         self.engine = fabric.engine
         self.host = host
         self.name = name
         self.ma_name = ma_name
+        #: Endpoint name of the parent Local Agent, used to re-register
+        #: after a crash/restart cycle.  None disables re-registration.
+        self.parent = parent
         self.params = params or SeDParams()
         self.tracer = tracer or Tracer()
         self.log_central = log_central
@@ -101,14 +105,22 @@ class SeD:
         #: solve_start / solve_end one emit() call site for tracer+LogCentral.
         self.tracing = self.endpoint.pipeline.add(
             TracingInterceptor(self.tracer, log_central))
-        self.endpoint.on("estimate", self._handle_estimate)
-        self.endpoint.on("solve", self._handle_solve)
-        self.endpoint.on("fetch_data", self._handle_fetch_data)
+        self._bind_handlers()
         #: DTM-style persistent data: data_id -> (value, nbytes).
         self.data_store: Dict[str, tuple] = {}
         self.solve_count = 0
         self.solve_durations: List[float] = []
+        self.crash_count = 0
+        self._crashed = False
         self._launched = False
+
+    def _bind_handlers(self) -> None:
+        """Attach operation handlers to the current endpoint (a restart
+        creates a fresh endpoint, so this runs once per incarnation)."""
+        self.endpoint.on("estimate", self._handle_estimate)
+        self.endpoint.on("solve", self._handle_solve)
+        self.endpoint.on("fetch_data", self._handle_fetch_data)
+        self.endpoint.on("ping", self._handle_ping)
 
     # -- service registration (diet_service_table_add) ----------------------------
 
@@ -130,6 +142,68 @@ class SeD:
     def n_jobs(self) -> int:
         """Running + queued solves (the EST_NBJOBS probe)."""
         return self.job_slots.count + self.job_slots.queue_length
+
+    # -- crash / restart (failure model) -------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """The node hosting this SeD dies abruptly.
+
+        Unbinding the endpoint dead-letters queued requests and interrupts
+        every in-flight handler (the Interrupt unwinds ``execute()`` claims
+        and job slots on its way out) — callers see
+        :class:`~repro.core.exceptions.CommunicationError`, exactly as if
+        the TCP connection to a real SeD had been torn down.  Volatile state
+        (DTM data store) is lost with the process; anything on NFS survives.
+        """
+        if self._crashed:
+            raise DietError(f"SeD {self.name!r} is already down")
+        self._crashed = True
+        self.crash_count += 1
+        self.fabric.unbind(self.name)
+        self.data_store.clear()
+
+    def restart(self) -> None:
+        """The node comes back: fresh endpoint, empty volatile state.
+
+        Mirrors a SeD process being relaunched by the batch system — it
+        re-announces itself to its parent LA (the ``register`` op) so the
+        agent hierarchy picks it back up for scheduling; until that RPC
+        lands the SeD is invisible, exactly like a real daemon between
+        exec() and its CORBA bind.
+        """
+        if not self._crashed:
+            raise DietError(f"SeD {self.name!r} is not down")
+        self._crashed = False
+        self.endpoint = self.fabric.endpoint(self.name, self.host.name)
+        self.tracing = self.endpoint.pipeline.add(
+            TracingInterceptor(self.tracer, self.log_central))
+        self._bind_handlers()
+        if self._launched:
+            self.endpoint.start()
+            if self.parent is not None:
+                self.engine.process(self._announce(),
+                                    name=f"register:{self.name}")
+
+    def _announce(self) -> Generator[Event, Any, None]:
+        """Re-register with the parent LA, retrying a few times: the LA may
+        itself be briefly unreachable right after our restart."""
+        for attempt in range(3):
+            try:
+                yield from self.endpoint.rpc(self.parent, "register", self.name)
+                return
+            except Exception:
+                if self.endpoint.closed:   # crashed again mid-announce
+                    return
+                yield self.engine.timeout(1.0 * (attempt + 1))
+
+    def _handle_ping(self, msg) -> Generator[Event, Any, tuple]:
+        """Liveness probe from the parent LA's heartbeat monitor."""
+        return ("pong", 64)
+        yield  # pragma: no cover - make this a generator function
 
     # -- estimation ---------------------------------------------------------------
 
@@ -233,6 +307,11 @@ class SeD:
                     status = 0
                 error = None
             except DietError:
+                raise
+            except Interrupt:
+                # Host crash mid-solve, not an application failure: let the
+                # transport dead-letter the request (must re-raise before
+                # ``except Exception`` — Interrupt subclasses it).
                 raise
             except Exception as exc:
                 # An application failure is a *service* result (the paper's

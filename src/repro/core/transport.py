@@ -34,9 +34,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, Iterable, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, Optional, Tuple
 
-from ..sim.engine import Engine, Event
+from ..sim.engine import Engine, Event, Interrupt, Process
 from ..sim.network import Network
 from ..sim.resources import Store
 from .exceptions import CommunicationError, DeadlineExceededError
@@ -113,6 +113,10 @@ class Endpoint:
         self.mailbox: Store = Store(fabric.engine)
         self.pipeline = InterceptorPipeline(interceptors)
         self._handlers: Dict[str, Callable] = {}
+        #: Requests currently being handled: msg_id -> (message, process).
+        #: :meth:`stop` interrupts these so a crashing server neither strands
+        #: its callers nor keeps computing from beyond the grave.
+        self._inflight: Dict[int, Tuple[Message, Process]] = {}
         self._serving = False
         self._closed = False
 
@@ -152,36 +156,53 @@ class Endpoint:
                         f"endpoint {self.name!r} has no handler for {msg.op!r}")
                     self.fabric._deliver_reply(msg, self, "error", err, 128)
                 continue
-            engine.process(self._handle(handler, msg),
-                           name=f"{self.name}:{msg.op}#{msg.msg_id}")
+            proc = engine.process(self._handle(handler, msg),
+                                  name=f"{self.name}:{msg.op}#{msg.msg_id}")
+            self._inflight[msg.msg_id] = (msg, proc)
 
     def _handle(self, handler: Callable, msg: Message) -> Generator[Event, Any, None]:
         ctx = MessageContext(self.fabric, msg, self, msg.nbytes)
         try:
-            # Server-side dispatch cost + any deliver-side interceptors.
-            yield from run_chains("deliver", self.pipeline, self.fabric.pipeline, ctx)
-        except MessageDropped:
-            self.fabric.accounting.note_dropped()
-            return
-        try:
-            result = yield from handler(msg)
-        except Exception as exc:  # ship failures back to the caller
-            if msg.reply_to is not None:
-                self.fabric._deliver_reply(msg, self, "error", exc, 128)
+            try:
+                # Server-side dispatch cost + any deliver-side interceptors.
+                yield from run_chains("deliver", self.pipeline, self.fabric.pipeline, ctx)
+            except MessageDropped:
+                self.fabric.accounting.note_dropped()
                 return
-            raise
-        if msg.reply_to is not None:
-            value, nbytes = result if isinstance(result, tuple) else (result, None)
-            if nbytes is None:
-                nbytes = self.fabric.params.control_payload
-            self.fabric._deliver_reply(msg, self, "ok", value, nbytes)
+            try:
+                result = yield from handler(msg)
+            except Interrupt:
+                # Not an application failure: the endpoint is crashing.  Let
+                # the outer handler dead-letter the request (must re-raise
+                # before ``except Exception`` — Interrupt subclasses it).
+                raise
+            except Exception as exc:  # ship failures back to the caller
+                if msg.reply_to is not None:
+                    self.fabric._deliver_reply(msg, self, "error", exc, 128)
+                    return
+                raise
+            if msg.reply_to is not None:
+                value, nbytes = result if isinstance(result, tuple) else (result, None)
+                if nbytes is None:
+                    nbytes = self.fabric.params.control_payload
+                self.fabric._deliver_reply(msg, self, "ok", value, nbytes)
+        except Interrupt:
+            # The server died mid-request (endpoint stopped / host crash):
+            # resume the caller with CommunicationError, never a reply.
+            self.fabric._dead_letter(
+                msg, f"endpoint {self.name!r} stopped while handling {msg.op!r}")
+        finally:
+            self._inflight.pop(msg.msg_id, None)
 
     def stop(self) -> None:
-        """Stop serving; queued requests are dead-lettered, not stranded.
+        """Stop serving; queued and in-flight requests are dead-lettered.
 
         Any request already in the mailbox (or racing in behind the shutdown)
         has its ``reply_to`` failed with :class:`CommunicationError` so the
-        caller resumes instead of suspending forever.
+        caller resumes instead of suspending forever.  Handler processes
+        still running are interrupted: the Interrupt unwinds them (releasing
+        CPU/slot claims along the way) and :meth:`_handle` dead-letters the
+        request — crash semantics, not graceful drain.
         """
         if self._closed:
             return
@@ -192,6 +213,13 @@ class Endpoint:
                 break
             if msg is not _SHUTDOWN:
                 self.fabric._dead_letter(msg, f"endpoint {self.name!r} stopped")
+        for msg, proc in list(self._inflight.values()):
+            if proc.is_alive:
+                proc.interrupt(CommunicationError(
+                    f"endpoint {self.name!r} stopped"))
+            else:
+                self.fabric._dead_letter(
+                    msg, f"endpoint {self.name!r} stopped")
         if self._serving:
             self.mailbox.put(_SHUTDOWN)
             self._serving = False

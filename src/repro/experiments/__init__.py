@@ -3,6 +3,7 @@ Figure 2/3 scientific analogues).  See DESIGN.md's experiment index."""
 
 from . import (
     ablation_scheduler,
+    degraded_campaign,
     figure1_architecture,
     figure2_density,
     figure3_zoom,
@@ -20,6 +21,7 @@ __all__ = [
     "ascii_gantt",
     "ascii_series",
     "ascii_table",
+    "degraded_campaign",
     "figure2_density",
     "figure3_zoom",
     "figure4",

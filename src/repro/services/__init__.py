@@ -21,6 +21,7 @@ from .ramses_client import (
 from .ramses_service import (
     COORD_SCALE,
     ExecutionMode,
+    FaultStats,
     RamsesService,
     RamsesServiceConfig,
     register_ramses_services,
@@ -30,6 +31,8 @@ from .ramses_service import (
 from .workflow import (
     CampaignConfig,
     CampaignResult,
+    FailurePlan,
+    FailureReport,
     run_campaign,
     synthetic_zoom_centers,
 )
@@ -39,6 +42,9 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "ExecutionMode",
+    "FailurePlan",
+    "FailureReport",
+    "FaultStats",
     "PAPER_BOX_MPC_H",
     "PAPER_PART1_SECONDS",
     "PAPER_PART2_MEAN_SECONDS",

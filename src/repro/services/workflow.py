@@ -21,12 +21,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.agent import AgentParams
 from ..core.client import AsyncRequest
 from ..core.deployment import Deployment, deploy_paper_hierarchy
 from ..core.scheduling import SchedulerPolicy, make_policy
 from ..core.statistics import RequestTrace
 from ..platform.grid5000 import ClusterSpec, build_grid5000
 from ..sim.engine import Engine
+from ..sim.failures import FailureInjector, Outage, OutageRecord
 from ..sim.rng import RandomStreams
 from .perfmodel import RamsesPerfModel
 from .ramses_client import (
@@ -42,8 +44,66 @@ from .ramses_service import (
     register_ramses_services,
 )
 
-__all__ = ["CampaignConfig", "CampaignResult", "run_campaign",
-           "synthetic_zoom_centers"]
+__all__ = ["CampaignConfig", "CampaignResult", "FailurePlan", "FailureReport",
+           "run_campaign", "synthetic_zoom_centers"]
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Degraded-mode campaign: seeded SeD outages + the recovery machinery.
+
+    Victims, crash times and downtimes are drawn from the campaign seed's
+    ``"outages"`` stream, so a degraded run is as bit-deterministic as the
+    happy-path one.  The remaining knobs size the recovery machinery the
+    plan switches on: LA->SeD heartbeats, zoom2 checkpointing, client-side
+    resubmission.
+    """
+
+    #: Distinct SeDs to crash (capped at the deployment size).
+    n_crashes: int = 2
+    #: Simulated-seconds window the crash instants are drawn from
+    #: (uniform); the default covers the middle of the §5.2 zoom phase.
+    crash_window: Tuple[float, float] = (6000.0, 30000.0)
+    #: Mean outage duration, seconds (exponential draw, floored at 60 s).
+    mean_downtime: float = 3600.0
+    heartbeat_interval: float = 60.0
+    heartbeat_timeout: float = 5.0
+    heartbeat_miss_threshold: int = 2
+    #: Checkpoint the zoom2 main phase every this many work units
+    #: (~5000 work units per zoom at the paper's parameters).
+    checkpoint_interval_work: float = 600.0
+    #: Client-side resubmission budget per zoom job.
+    max_solve_attempts: int = 8
+    #: Seconds between resubmissions (multiplied by the attempt number).
+    retry_backoff: float = 30.0
+
+    def __post_init__(self):
+        if self.n_crashes < 0:
+            raise ValueError("n_crashes must be non-negative")
+        if self.crash_window[0] >= self.crash_window[1]:
+            raise ValueError("crash_window must be a non-empty interval")
+
+
+@dataclass
+class FailureReport:
+    """What the failures cost and how the stack absorbed them."""
+
+    #: Completed crash/restart cycles (a victim whose restart falls beyond
+    #: the campaign's end never reaches the history).
+    outages: List[OutageRecord]
+    #: Jobs the client re-pushed through the MA finding path.
+    resubmissions: int
+    #: Normalized work executed by dead attempts and never recovered.
+    work_lost: float
+    #: Normalized work skipped on resume thanks to checkpoints.
+    work_recovered: float
+    checkpoints_written: int
+    restarts_from_checkpoint: int
+    restarts_from_scratch: int
+    #: SeDs deregistered by LA heartbeat monitors, in event order.
+    deregistrations: List[str]
+    #: SeDs that re-registered after a restart, in event order.
+    recoveries: List[str]
 
 
 @dataclass(frozen=True)
@@ -66,6 +126,9 @@ class CampaignConfig:
     real_a_end: float = 0.6
     #: optional platform override (None == the paper's 6 clusters / 11 SeDs).
     cluster_specs: Optional[Tuple[ClusterSpec, ...]] = None
+    #: None (default) is the paper's happy path; a FailurePlan switches on
+    #: seeded SeD outages plus the whole recovery machinery.
+    failures: Optional[FailurePlan] = None
 
 
 @dataclass
@@ -78,6 +141,8 @@ class CampaignResult:
     part2_traces: List[RequestTrace]
     statuses: List[int]
     zoom_centers: List[Tuple[float, float, float]]
+    #: Populated when the campaign ran with a FailurePlan.
+    failure_report: Optional[FailureReport] = None
 
     # -- §5.2 headline numbers ---------------------------------------------------------
 
@@ -88,6 +153,12 @@ class CampaignResult:
     @property
     def part1_duration(self) -> float:
         return self.part1_trace.total_time or 0.0
+
+    @property
+    def completed_part2_traces(self) -> List[RequestTrace]:
+        """Traces of attempts that ran to completion (in a degraded run,
+        ``part2_traces`` also carries the aborted attempts)."""
+        return [t for t in self.part2_traces if t.completed_at is not None]
 
     @property
     def part2_durations(self) -> List[float]:
@@ -196,7 +267,15 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     else:
         policy = make_policy(config.policy)
 
-    deployment = deploy_paper_hierarchy(platform, policy=policy)
+    plan = config.failures
+    agent_params = None
+    if plan is not None:
+        agent_params = AgentParams(
+            heartbeat_interval=plan.heartbeat_interval,
+            heartbeat_timeout=plan.heartbeat_timeout,
+            heartbeat_miss_threshold=plan.heartbeat_miss_threshold)
+    deployment = deploy_paper_hierarchy(platform, policy=policy,
+                                        agent_params=agent_params)
 
     workdir = config.workdir
     cleanup_dir = None
@@ -206,10 +285,25 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     service_config = RamsesServiceConfig(
         mode=config.mode, perf=RamsesPerfModel(seed=config.seed),
         workdir=workdir, real_n_steps=config.real_n_steps,
-        real_a_end=config.real_a_end, seed=config.seed)
-    register_ramses_services(deployment, service_config,
-                             with_predictor=config.with_predictor)
+        real_a_end=config.real_a_end, seed=config.seed,
+        checkpoint_interval_work=(
+            plan.checkpoint_interval_work if plan is not None else None))
+    service = register_ramses_services(deployment, service_config,
+                                       with_predictor=config.with_predictor)
     deployment.launch_all()
+
+    injector: Optional[FailureInjector] = None
+    if plan is not None and plan.n_crashes > 0:
+        rng = RandomStreams(config.seed).get("outages")
+        injector = FailureInjector(engine)
+        n = min(plan.n_crashes, len(deployment.seds))
+        lo, hi = plan.crash_window
+        victims = rng.choice(len(deployment.seds), size=n, replace=False)
+        for idx in victims:
+            at = float(rng.uniform(lo, hi))
+            downtime = max(60.0, float(rng.exponential(plan.mean_downtime)))
+            injector.schedule(deployment.seds[int(idx)],
+                              [Outage(at=at, duration=downtime)])
 
     client = deployment.client
     assert client is not None
@@ -232,7 +326,12 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     def campaign():
         client.initialize({"MA_name": deployment.ma.name})
         # ---- part 1: the low-resolution full box --------------------------------
-        status1 = yield from client.call(part1_profile)
+        if plan is not None:
+            status1 = yield from client.call_retry(
+                part1_profile, max_attempts=plan.max_solve_attempts,
+                backoff=plan.retry_backoff)
+        else:
+            status1 = yield from client.call(part1_profile)
         error1, catalog_ref = decode_zoom1(part1_profile)
         if status1 != 0 or error1 != 0:
             raise RuntimeError(f"part 1 failed: status={status1} error={error1}")
@@ -260,24 +359,58 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
                                           config.boxsize_mpc_h, center,
                                           config.n_zoom_levels)
             part2_profiles.append(profile)
-            requests.append(client.call_async(profile))
+            if plan is not None:
+                requests.append(client.call_async(
+                    profile, max_attempts=plan.max_solve_attempts,
+                    backoff=plan.retry_backoff))
+            else:
+                requests.append(client.call_async(profile))
         yield from client.wait_all()
         outcome["statuses"] = [r.process.value for r in requests]
 
-    engine.run_process(campaign())
+    if plan is not None:
+        # Heartbeat monitors (and any still-pending restart) keep the event
+        # queue alive forever; run until the campaign itself completes.
+        engine.run_until_complete(campaign())
+    else:
+        engine.run_process(campaign())
     if cleanup_dir is not None:
         cleanup_dir.cleanup()
 
-    # Collect traces: part 1 is the first trace, part 2 the rest.
+    # Collect traces: part 1 is the first trace, part 2 the rest.  Under a
+    # FailurePlan a resubmitted call leaves one trace per attempt; the
+    # completed one carries the part-1 numbers.
     all_traces = deployment.tracer.all_traces()
-    part1_trace = next(t for t in all_traces if t.service == "ramsesZoom1")
+    zoom1_traces = [t for t in all_traces if t.service == "ramsesZoom1"]
+    part1_trace = next((t for t in zoom1_traces if t.completed_at is not None),
+                       zoom1_traces[0])
     part2_traces = [t for t in all_traces if t.service == "ramsesZoom2"]
     statuses = list(outcome.get("statuses", []))
     for profile in part2_profiles:
         result = decode_zoom2(profile)
         if not result.succeeded:
             raise RuntimeError(f"sub-simulation failed: error={result.error}")
+
+    failure_report = None
+    if plan is not None:
+        stats = service.fault_stats
+        deregs = [name for la in deployment.local_agents
+                  for name in la.deregistrations]
+        recoveries = [child for la in deployment.local_agents
+                      if la.heartbeat is not None
+                      for child, _t in la.heartbeat.recoveries]
+        failure_report = FailureReport(
+            outages=list(injector.history) if injector is not None else [],
+            resubmissions=client.resubmissions,
+            work_lost=stats.work_lost,
+            work_recovered=stats.work_recovered,
+            checkpoints_written=stats.checkpoints_written,
+            restarts_from_checkpoint=stats.restarts_from_checkpoint,
+            restarts_from_scratch=stats.restarts_from_scratch,
+            deregistrations=deregs,
+            recoveries=recoveries)
     return CampaignResult(config=config, deployment=deployment,
                           part1_trace=part1_trace, part2_traces=part2_traces,
                           statuses=statuses,
-                          zoom_centers=list(outcome.get("centers", [])))
+                          zoom_centers=list(outcome.get("centers", [])),
+                          failure_report=failure_report)

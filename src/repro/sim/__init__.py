@@ -6,6 +6,7 @@ Public surface:
   :class:`AnyOf`, :class:`AllOf`, :class:`Interrupt` — the event kernel;
 - :class:`Resource`, :class:`Store`, :class:`Container` — shared resources;
 - :class:`Host`, :class:`Link`, :class:`Network` — the platform graph;
+- :class:`Outage`, :class:`FailureInjector` — crash/restart outage driver;
 - :class:`RandomStreams` — deterministic named random streams.
 """
 
@@ -22,6 +23,7 @@ from .engine import (
     PRIORITY_NORMAL,
     PRIORITY_URGENT,
 )
+from .failures import FailureInjector, Outage, OutageRecord
 from .network import Host, Link, Network, NetworkError
 from .resources import Container, Request, Resource, Store
 from .rng import RandomStreams, stable_seed
@@ -32,11 +34,14 @@ __all__ = [
     "Container",
     "Engine",
     "Event",
+    "FailureInjector",
     "Host",
     "Interrupt",
     "Link",
     "Network",
     "NetworkError",
+    "Outage",
+    "OutageRecord",
     "Process",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",

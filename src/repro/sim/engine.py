@@ -153,7 +153,14 @@ class Timeout(Event):
 
 
 class _ConditionEvent(Event):
-    """Base for AnyOf / AllOf composite events."""
+    """Base for AnyOf / AllOf composite events.
+
+    Once the condition settles (succeeds or fails) it *detaches* its
+    callback from every sibling event that has not fired yet: a late-failing
+    sibling must not touch an already-settled condition, and long campaigns
+    would otherwise accumulate dead callbacks on long-lived events (e.g. the
+    reply events that deadline races keep re-creating).
+    """
 
     __slots__ = ("events", "_n_fired")
 
@@ -173,6 +180,19 @@ class _ConditionEvent(Event):
                     self._on_fire(ev)
                 else:
                     ev.callbacks.append(self._on_fire)
+            if self._scheduled:
+                # Settled mid-registration (an already-fired child decided
+                # the outcome): later siblings must not be subscribed.
+                break
+
+    def _detach(self) -> None:
+        """Drop our callback from every still-pending child event."""
+        for ev in self.events:
+            if ev.callbacks is not None:
+                try:
+                    ev.callbacks.remove(self._on_fire)
+                except ValueError:
+                    pass
 
     def _collect(self) -> dict:
         return {ev: ev._value for ev in self.events if ev._scheduled and ev.processed}
@@ -191,8 +211,9 @@ class AnyOf(_ConditionEvent):
             return
         if not event._ok:
             self.fail(event._value)
-            return
-        self.succeed(self._collect())
+        else:
+            self.succeed(self._collect())
+        self._detach()
 
 
 class AllOf(_ConditionEvent):
@@ -205,10 +226,12 @@ class AllOf(_ConditionEvent):
             return
         if not event._ok:
             self.fail(event._value)
+            self._detach()
             return
         self._n_fired += 1
         if self._n_fired == len(self.events):
             self.succeed({ev: ev._value for ev in self.events})
+            self._detach()
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -381,6 +404,33 @@ class Engine:
         if not proc.triggered:
             raise SimulationError("process did not finish before the deadline")
         if not proc._ok:
+            raise proc._value
+        return proc._value
+
+    def run_until_complete(self, generator: ProcessGenerator,
+                           max_time: Optional[float] = None) -> Any:
+        """Spawn ``generator`` and step until *it* completes (not until the
+        queue drains).
+
+        Unlike :meth:`run_process` this tolerates perpetual background
+        processes — heartbeat monitors, failure injectors — that keep the
+        event queue non-empty forever.  Raises :class:`SimulationError` if
+        the queue drains (deadlock) or simulated time would pass
+        ``max_time`` before the process finishes.
+        """
+        proc = self.process(generator)
+        while not proc.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"process {proc.name!r} cannot complete: event queue drained")
+            if max_time is not None and self.peek() > max_time:
+                raise SimulationError(
+                    f"process {proc.name!r} did not finish by t={max_time}")
+            self.step()
+        if not proc._ok:
+            # The exception surfaces here; don't escalate it a second time
+            # when the process event itself is dispatched.
+            proc._defused = True
             raise proc._value
         return proc._value
 

@@ -19,6 +19,7 @@ and static).
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
@@ -72,6 +73,11 @@ class Host:
 class Link:
     """A network link with latency (s) and bandwidth (bytes/s)."""
 
+    #: Global creation order — the deterministic total order in which
+    #: :meth:`Network.transfer` acquires shared-link slots (lock ordering
+    #: prevents two crossing transfers from deadlocking on each other).
+    _uids = itertools.count()
+
     def __init__(self, engine: Engine, name: str, latency: float,
                  bandwidth: float, shared: bool = False, max_concurrent: int = 1):
         if latency < 0:
@@ -83,6 +89,7 @@ class Link:
         self.latency = float(latency)
         self.bandwidth = float(bandwidth)
         self.shared = shared
+        self._uid = next(Link._uids)
         self._slot = Resource(engine, capacity=max_concurrent) if shared else None
 
     def __repr__(self) -> str:
@@ -173,7 +180,17 @@ class Network:
         return path
 
     def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
-        """Analytic transfer duration (ignores link sharing queues)."""
+        """Analytic transfer duration (ignores link sharing queues).
+
+        Contract with :meth:`transfer`: on a route with **no contended
+        shared link** the two agree *exactly* — both evaluate the same
+        ``sum(latency) + nbytes / min(bandwidth)`` expression, so cost
+        models built on ``transfer_time`` predict the slotted transfer to
+        the bit.  On shared links :meth:`transfer` additionally waits for a
+        slot, so it is always ``>= transfer_time``; the analytic value is a
+        lower bound, never an unrelated number.  (A property test pins this
+        contract.)
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         links = self.route(src, dst)
@@ -186,7 +203,16 @@ class Network:
     def transfer(self, src: str, dst: str, nbytes: int) -> Generator[Event, Any, float]:
         """Process helper: perform a timed transfer, honouring shared links.
 
-        Returns the transfer duration actually experienced.
+        Shared-link slots are claimed in the links' global creation order
+        (``Link._uid``), not in path order: two crossing transfers that
+        traverse the same shared links in opposite directions would
+        otherwise each grab its first link and deadlock waiting for the
+        other's.  With a total lock order the second transfer queues on the
+        first contended link and both complete.
+
+        Returns the transfer duration actually experienced (equal to
+        :meth:`transfer_time` when no shared link on the route is
+        contended — see the contract there).
         """
         start = self.engine.now
         links = self.route(src, dst)
@@ -194,10 +220,14 @@ class Network:
             return 0.0
         claims = []
         try:
-            for link in links:
-                if link._slot is not None:
-                    req = yield from link._slot.acquire()
-                    claims.append((link, req))
+            seen = set()
+            for link in sorted((l for l in links if l._slot is not None),
+                               key=lambda l: l._uid):
+                if link._uid in seen:
+                    continue
+                seen.add(link._uid)
+                req = yield from link._slot.acquire()
+                claims.append((link, req))
             yield self.engine.timeout(
                 sum(l.latency for l in links) + nbytes / min(l.bandwidth for l in links))
         finally:

@@ -90,9 +90,18 @@ class Resource:
             nxt.succeed(nxt)
 
     def acquire(self) -> Generator[Event, Any, Request]:
-        """Process helper: ``req = yield from resource.acquire()``."""
+        """Process helper: ``req = yield from resource.acquire()``.
+
+        Interrupt-safe: if the waiting process is interrupted (e.g. its host
+        crashes) while the claim is still queued — or just granted — the
+        claim is cancelled/released instead of leaking a phantom user.
+        """
         req = self.request()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            self.release(req)
+            raise
         return req
 
 

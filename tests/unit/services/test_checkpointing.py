@@ -1,0 +1,182 @@
+"""zoom2 checkpoint/restart: periodic dumps, resume gating, fault stats.
+
+§4.1 grounds the gating rule: RAMSES restart dumps live on the cluster's
+NFS volume and do not cross clusters.  A resubmission that lands back on
+the crashed SeD's cluster resumes from the newest checkpoint; one that
+lands anywhere else restarts from scratch (and the durable work is lost).
+"""
+
+import pytest
+
+from repro.core import BaseType, ProfileDesc, scalar_desc
+from repro.core.deployment import deploy_paper_hierarchy
+from repro.platform import build_grid5000
+from repro.services import (
+    RamsesService,
+    RamsesServiceConfig,
+    build_zoom2_profile,
+    default_namelist_text,
+    register_ramses_services,
+    zoom2_profile_desc,
+)
+from repro.sim import Engine, FailureInjector, Outage
+
+
+def deploy():
+    return deploy_paper_hierarchy(build_grid5000(Engine()))
+
+
+def zoom2_profile():
+    return build_zoom2_profile(default_namelist_text(), 128, 100,
+                               (0.4, 0.5, 0.6), 2)
+
+
+def dummy_desc():
+    desc = ProfileDesc("dummy", 0, 0, 1)
+    desc.set_arg(0, scalar_desc(BaseType.INT))
+    desc.set_arg(1, scalar_desc(BaseType.INT))
+    return desc
+
+
+def dummy_solve(profile, ctx):
+    yield from ctx.execute(1.0)
+    profile.parameter(1).set(1)
+    return 0
+
+
+def register_zoom2_on(dep, capable_seds, config):
+    """Register zoom2 only on ``capable_seds`` (a SeD refuses to launch
+    with an empty table, so the rest get a dummy service)."""
+    service = RamsesService(config)
+    z2 = zoom2_profile_desc()
+    for sed in dep.seds:
+        if sed in capable_seds:
+            sed.add_service(z2, service.solve_zoom2)
+        else:
+            sed.add_service(dummy_desc(), dummy_solve)
+    return service
+
+
+CKPT_CONFIG = RamsesServiceConfig(checkpoint_interval_work=600.0)
+
+
+class TestHappyPath:
+    def test_checkpointing_disabled_by_default(self):
+        assert RamsesServiceConfig().checkpoint_interval_work is None
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            RamsesServiceConfig(checkpoint_interval_work=0.0)
+        with pytest.raises(ValueError):
+            RamsesServiceConfig(checkpoint_interval_work=-5.0)
+
+    def _solve_once(self, config):
+        dep = deploy()
+        service = register_ramses_services(dep, config=config)
+        dep.launch_all()
+        client = dep.client
+        profile = zoom2_profile()
+
+        def run():
+            client.initialize({"MA_name": "MA"})
+            return (yield from client.call(profile))
+
+        status = dep.engine.run_process(run())
+        return status, dep.engine.now, service
+
+    def test_no_failure_run_writes_checkpoints_only(self):
+        status, elapsed_ckpt, service = self._solve_once(CKPT_CONFIG)
+        assert status == 0
+        stats = service.fault_stats
+        assert stats.checkpoints_written > 0
+        assert stats.restarts_from_checkpoint == 0
+        assert stats.restarts_from_scratch == 0
+        assert stats.work_lost == 0.0
+        assert service._progress == {}  # record dropped on success
+
+        status, elapsed_plain, service = self._solve_once(
+            RamsesServiceConfig())
+        assert status == 0
+        assert service.fault_stats.checkpoints_written == 0
+        # checkpoint writes cost NFS traffic, never save time happily
+        assert elapsed_ckpt >= elapsed_plain
+
+
+class TestCrashRecovery:
+    def _run_with_crash(self, capable, crash_at=2000.0, downtime=300.0):
+        """Crash the chosen SeD mid-solve; call_retry resubmits until a
+        capable SeD (restarted or survivor) finishes the job."""
+        dep = self.dep
+        client = dep.client
+        injector = FailureInjector(dep.engine)
+        profile = zoom2_profile()
+        outcome = {}
+
+        def run():
+            client.initialize({"MA_name": "MA"})
+            handle = client.function_handle("ramsesZoom2")
+
+            def crash_chosen():
+                yield dep.engine.timeout(crash_at)
+                outcome["victim"] = handle.server
+                injector.schedule(dep.sed_by_name(handle.server),
+                                  [Outage(at=0.0, duration=downtime)])
+
+            dep.engine.process(crash_chosen())
+            status = yield from client.call_retry(
+                profile, handle, max_attempts=10, backoff=100.0)
+            outcome["status"] = status
+            outcome["served_by"] = handle.server
+
+        dep.engine.run_until_complete(run())
+        return outcome
+
+    def test_same_cluster_resubmission_resumes_from_checkpoint(self):
+        self.dep = deploy()
+        only = self.dep.seds[0]
+        service = register_zoom2_on(self.dep, [only], CKPT_CONFIG)
+        self.dep.launch_all()
+
+        outcome = self._run_with_crash([only])
+        assert outcome["status"] == 0
+        assert outcome["served_by"] == only.name  # nowhere else to go
+        stats = service.fault_stats
+        assert stats.restarts_from_checkpoint == 1
+        assert stats.restarts_from_scratch == 0
+        assert stats.work_recovered > 0.0
+        assert stats.checkpoints_written > 0
+        assert service._progress == {}
+
+    def test_cross_cluster_resubmission_restarts_from_scratch(self):
+        self.dep = deploy()
+        sed_a = self.dep.seds[0]
+        sed_b = next(s for s in self.dep.seds
+                     if self.dep.cluster_of_sed(s.name)
+                     != self.dep.cluster_of_sed(sed_a.name))
+        service = register_zoom2_on(self.dep, [sed_a, sed_b], CKPT_CONFIG)
+        self.dep.launch_all()
+
+        # Long downtime: the retry must land on the other cluster's SeD.
+        outcome = self._run_with_crash([sed_a, sed_b], downtime=50_000.0)
+        assert outcome["status"] == 0
+        assert outcome["served_by"] != outcome["victim"]
+        stats = service.fault_stats
+        assert stats.restarts_from_scratch == 1
+        assert stats.restarts_from_checkpoint == 0
+        assert stats.work_recovered == 0.0
+        # the pre-crash segments were durable but unreachable: lost
+        assert stats.work_lost > 0.0
+
+    def test_without_checkpointing_resubmission_loses_everything(self):
+        self.dep = deploy()
+        only = self.dep.seds[0]
+        service = register_zoom2_on(
+            self.dep, [only], RamsesServiceConfig())
+        self.dep.launch_all()
+
+        outcome = self._run_with_crash([only])
+        assert outcome["status"] == 0
+        stats = service.fault_stats
+        assert stats.checkpoints_written == 0
+        assert stats.restarts_from_checkpoint == 0
+        assert stats.work_recovered == 0.0

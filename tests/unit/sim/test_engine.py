@@ -270,6 +270,106 @@ class TestConditions:
 
         assert engine.run_process(proc()) == "saw failure"
 
+    def test_any_of_detaches_from_losing_siblings(self, engine):
+        """Once an AnyOf settles, its callback is removed from every
+        still-pending sibling (regression: dead callbacks accumulated on
+        long-lived events)."""
+        def proc():
+            fast = engine.timeout(1.0, "fast")
+            slow = engine.timeout(5.0, "slow")
+            cond = engine.any_of([fast, slow])
+            result = yield cond
+            assert slow.callbacks is not None  # slow has not fired yet
+            assert cond._on_fire not in slow.callbacks
+            return list(result.values())
+
+        assert engine.run_process(proc()) == ["fast"]
+
+    def test_late_failing_sibling_leaves_any_of_settled(self, engine):
+        """A sibling that fails after the AnyOf already succeeded must not
+        disturb the settled condition."""
+        def bad():
+            yield engine.timeout(2.0)
+            raise RuntimeError("late loser")
+
+        def proc():
+            loser = engine.process(bad())
+            cond = engine.any_of([engine.timeout(1.0, "winner"), loser])
+            result = yield cond
+            assert cond.ok and list(result.values()) == ["winner"]
+            try:
+                yield loser  # watch the loser so its failure isn't escalated
+            except RuntimeError:
+                pass
+            assert cond.ok and list(cond.value.values()) == ["winner"]
+            return "settled"
+
+        assert engine.run_process(proc()) == "settled"
+
+    def test_all_of_detaches_after_child_failure(self, engine):
+        """An AllOf that fails early stops listening to the slow children."""
+        def bad():
+            yield engine.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def proc():
+            p = engine.process(bad())
+            slow = engine.timeout(10.0)
+            cond = engine.all_of([p, slow])
+            try:
+                yield cond
+            except RuntimeError:
+                pass
+            assert slow.callbacks is not None
+            assert cond._on_fire not in slow.callbacks
+            return engine.now
+
+        assert engine.run_process(proc()) == 1.0
+
+
+class TestRunUntilComplete:
+    def test_tolerates_perpetual_background_process(self, engine):
+        """run_until_complete returns when *its* process finishes even while
+        a heartbeat-style process keeps the queue non-empty forever."""
+        def forever():
+            while True:
+                yield engine.timeout(1.0)
+
+        def main():
+            yield engine.timeout(3.5)
+            return "done"
+
+        engine.process(forever())
+        assert engine.run_until_complete(main()) == "done"
+        assert engine.now == 3.5
+
+    def test_deadlock_raises(self, engine):
+        def main():
+            yield engine.event()  # nobody will ever trigger this
+
+        with pytest.raises(SimulationError):
+            engine.run_until_complete(main())
+
+    def test_max_time_exceeded_raises(self, engine):
+        def forever():
+            while True:
+                yield engine.timeout(1.0)
+
+        def main():
+            yield engine.event()
+
+        engine.process(forever())
+        with pytest.raises(SimulationError):
+            engine.run_until_complete(main(), max_time=10.0)
+
+    def test_failure_propagates_once(self, engine):
+        def main():
+            yield engine.timeout(1.0)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run_until_complete(main())
+
 
 class TestDeterminism:
     def test_fifo_at_equal_time(self, engine):

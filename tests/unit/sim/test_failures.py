@@ -1,0 +1,89 @@
+"""Unit tests for the crash-and-restart failure injector."""
+
+import pytest
+
+from repro.sim import Engine, FailureInjector, Outage, OutageRecord
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class FakeVictim:
+    """Records the crash/restart call times the injector drives."""
+
+    def __init__(self, engine, name="victim"):
+        self.engine = engine
+        self.name = name
+        self.crashes = []
+        self.restarts = []
+        self.down = False
+
+    def crash(self):
+        assert not self.down, "crash() while already down"
+        self.down = True
+        self.crashes.append(self.engine.now)
+
+    def restart(self):
+        assert self.down, "restart() while already up"
+        self.down = False
+        self.restarts.append(self.engine.now)
+
+
+class TestOutage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Outage(at=-1.0, duration=5.0)
+        with pytest.raises(ValueError):
+            Outage(at=1.0, duration=0.0)
+
+    def test_record_downtime(self):
+        rec = OutageRecord("sed1", down_at=10.0, up_at=70.0)
+        assert rec.downtime == 60.0
+
+
+class TestFailureInjector:
+    def test_drives_crash_then_restart(self, engine):
+        victim = FakeVictim(engine)
+        injector = FailureInjector(engine)
+        injector.schedule(victim, [Outage(at=5.0, duration=20.0)])
+        assert injector.pending == 1
+        engine.run()
+        assert victim.crashes == [5.0]
+        assert victim.restarts == [25.0]
+        assert injector.pending == 0
+        assert injector.history == [OutageRecord("victim", 5.0, 25.0)]
+
+    def test_multiple_victims_ordered_history(self, engine):
+        a = FakeVictim(engine, "a")
+        b = FakeVictim(engine, "b")
+        injector = FailureInjector(engine)
+        injector.schedule(a, [Outage(at=10.0, duration=5.0)])
+        injector.schedule(b, [Outage(at=1.0, duration=2.0)])
+        engine.run()
+        # history is ordered by restart time, not by schedule order
+        assert [(r.name, r.down_at, r.up_at) for r in injector.history] == \
+            [("b", 1.0, 3.0), ("a", 10.0, 15.0)]
+
+    def test_sequential_outages_of_one_victim(self, engine):
+        victim = FakeVictim(engine)
+        injector = FailureInjector(engine)
+        injector.schedule(victim, [Outage(at=30.0, duration=10.0),
+                                   Outage(at=5.0, duration=10.0)])
+        engine.run()
+        assert victim.crashes == [5.0, 30.0]
+        assert victim.restarts == [15.0, 40.0]
+        assert len(injector.history) == 2
+
+    def test_deterministic_replay(self):
+        def trace():
+            eng = Engine()
+            victim = FakeVictim(eng)
+            injector = FailureInjector(eng)
+            injector.schedule(victim, [Outage(at=3.0, duration=4.0),
+                                       Outage(at=20.0, duration=1.5)])
+            eng.run()
+            return [(r.name, r.down_at, r.up_at) for r in injector.history]
+
+        assert trace() == trace()
