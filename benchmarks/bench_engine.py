@@ -1,0 +1,95 @@
+"""Kernel micro-benchmarks: raw event throughput of the simulation engine.
+
+Every paper experiment is ultimately a loop over ``Engine.step()``, so
+events/sec here bounds how large the campaigns can grow.  Three shapes:
+
+* **ping-pong** — one process chaining timeouts, the RPC wait shape that
+  dominates the middleware (create + schedule + dispatch + resume per
+  event);
+* **timeout churn** — a pre-filled heap of watcherless timeouts, isolating
+  heap discipline + dispatch from the process machinery;
+* **AnyOf fan-in** — the reply-vs-deadline race shape: a process
+  repeatedly waits on ``any_of`` over a fan of timeouts (condition
+  settling + callback detach).
+
+``REPRO_BENCH_QUICK=1`` shrinks the workloads so CI can smoke-test the
+module in seconds; the committed ``BENCH_engine.json`` baseline is a
+quick-mode recording (see ``benchmarks/export.py``) so the CI regression
+gate compares like with like.
+"""
+
+import os
+
+from repro.sim import Engine
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+N_PINGPONG = 20_000 if QUICK else 200_000
+N_CHURN = 20_000 if QUICK else 200_000
+ANYOF_FAN = 32
+N_ANYOF = 200 if QUICK else 2_000
+ROUNDS = 3 if QUICK else 5
+
+
+def _events_dispatched(engine: Engine) -> int:
+    """Events scheduled so far (the kernel stamps one seq per push)."""
+    return engine.events_scheduled
+
+
+def _run_pingpong() -> int:
+    engine = Engine()
+
+    def chain():
+        for _ in range(N_PINGPONG):
+            yield engine.timeout(0.001)
+
+    engine.run_process(chain())
+    return _events_dispatched(engine)
+
+
+def _run_churn() -> int:
+    engine = Engine()
+    for i in range(N_CHURN):
+        # Deterministic scatter of delays so the heap actually reorders.
+        engine.timeout((i * 7919) % 1000 * 1e-3)
+    engine.run()
+    return _events_dispatched(engine)
+
+
+def _run_anyof() -> int:
+    engine = Engine()
+
+    def racer():
+        for i in range(N_ANYOF):
+            fan = [engine.timeout((1 + (i + j) % ANYOF_FAN) * 1e-3)
+                   for j in range(ANYOF_FAN)]
+            yield engine.any_of(fan)
+
+    engine.run_process(racer())
+    return _events_dispatched(engine)
+
+
+def _report(benchmark, show_report, label: str, n_events: int) -> None:
+    rate = n_events / benchmark.stats.stats.mean
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["events_per_sec"] = rate
+    show_report(f"{label}: {n_events} events, "
+                f"{rate / 1e3:.0f}k events/sec (mean of "
+                f"{benchmark.stats.stats.rounds} rounds)")
+
+
+def test_bench_events_per_sec(benchmark, show_report):
+    """Ping-pong: the per-event cost of the full schedule/dispatch/resume."""
+    n_events = benchmark.pedantic(_run_pingpong, rounds=ROUNDS, iterations=1)
+    _report(benchmark, show_report, "ping-pong", n_events)
+
+
+def test_bench_timeout_churn(benchmark, show_report):
+    """Heap discipline: dispatch a pre-filled heap of watcherless timeouts."""
+    n_events = benchmark.pedantic(_run_churn, rounds=ROUNDS, iterations=1)
+    _report(benchmark, show_report, "timeout churn", n_events)
+
+
+def test_bench_anyof_fanin(benchmark, show_report):
+    """Condition settling: any_of over a fan of timeouts, repeatedly."""
+    n_events = benchmark.pedantic(_run_anyof, rounds=ROUNDS, iterations=1)
+    _report(benchmark, show_report, f"any_of fan-in x{ANYOF_FAN}", n_events)

@@ -1,0 +1,134 @@
+"""Record benchmark results as ``BENCH_<name>.json`` and gate regressions.
+
+Two roles, one file format:
+
+* ``python benchmarks/export.py --bench engine`` runs
+  ``pytest benchmarks/bench_engine.py --benchmark-only`` and folds the
+  pytest-benchmark report into ``BENCH_engine.json`` at the repo root —
+  per benchmark ``min``/``mean`` seconds, ``rounds``, plus any
+  ``extra_info`` the benchmark recorded (events/sec, efficiency, ...),
+  tagged with the heap implementation that produced it.
+* ``--check`` additionally compares the fresh ``min`` times against the
+  committed baseline of the same name and exits non-zero when any
+  benchmark ran more than ``--threshold`` (default 2.0) times slower —
+  the CI regression gate.
+
+CI runs both in quick mode (``REPRO_BENCH_QUICK=1``), comparing against a
+committed quick-mode baseline so the gate compares like with like.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fields copied per benchmark from the pytest-benchmark report.
+_STATS_FIELDS = ("min", "mean", "rounds")
+
+
+def run_bench(name: str) -> dict:
+    """Run one benchmark module; return the folded results document."""
+    bench_file = REPO_ROOT / "benchmarks" / f"bench_{name}.py"
+    if not bench_file.exists():
+        raise SystemExit(f"no such benchmark module: {bench_file}")
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = Path(tmp) / "report.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(bench_file),
+             "--benchmark-only", f"--benchmark-json={report_path}", "-q"],
+            cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+        report = json.loads(report_path.read_text())
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.sim.simcore import HEAP_IMPL
+
+    doc = {
+        "meta": {
+            "bench": name,
+            "heap_impl": HEAP_IMPL,
+            "quick": bool(os.environ.get("REPRO_BENCH_QUICK")),
+            "python": ".".join(map(str, sys.version_info[:3])),
+        },
+        "benchmarks": {},
+    }
+    for bench in report["benchmarks"]:
+        entry = {field: bench["stats"][field] for field in _STATS_FIELDS}
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
+        doc["benchmarks"][bench["name"]] = entry
+    return doc
+
+
+def check_regression(doc: dict, baseline_path: Path, threshold: float) -> int:
+    """Compare fresh min times to the baseline; return the exit code."""
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("meta", {}).get("quick") != doc["meta"]["quick"]:
+        print("baseline and run disagree on quick mode; refusing to compare")
+        return 1
+    failures = []
+    for name, entry in doc["benchmarks"].items():
+        base = baseline.get("benchmarks", {}).get(name)
+        if base is None:
+            print(f"  {name}: not in baseline, skipped")
+            continue
+        ratio = entry["min"] / base["min"]
+        status = "OK" if ratio <= threshold else "REGRESSION"
+        print(f"  {name}: {entry['min'] * 1e3:.1f}ms vs baseline "
+              f"{base['min'] * 1e3:.1f}ms ({ratio:.2f}x) {status}")
+        if ratio > threshold:
+            failures.append(name)
+    if failures:
+        print(f"FAILED: {len(failures)} benchmark(s) more than "
+              f"{threshold:.1f}x slower than baseline: {', '.join(failures)}")
+        return 1
+    print("regression check passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="engine",
+                        help="benchmark module to run (bench_<name>.py)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<name>.json at "
+                             "the repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when slower than the committed baseline")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline to compare against with --check "
+                             "(default: the committed output path)")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max allowed slowdown ratio (default 2.0)")
+    args = parser.parse_args(argv)
+
+    default_path = REPO_ROOT / f"BENCH_{args.bench}.json"
+    out_path = Path(args.out) if args.out else default_path
+    baseline_path = Path(args.baseline) if args.baseline else default_path
+
+    doc = run_bench(args.bench)
+    code = 0
+    if args.check:
+        code = check_regression(doc, baseline_path, args.threshold)
+        if args.out is None:
+            # Don't clobber the committed baseline during a gate run.
+            out_path = default_path.with_suffix(".ci.json")
+    out_path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

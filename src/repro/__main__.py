@@ -28,30 +28,37 @@ from .experiments import (
     table_timings,
 )
 
-#: name -> (description, runner returning printable text)
-_EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+#: Runners take the parsed args namespace; the sweep experiments read
+#: ``args.jobs`` (see ``repro.experiments.runner``), the rest ignore it.
+_EXPERIMENTS: Dict[str, Tuple[str, Callable[..., str]]] = {
     "architecture": ("Figure 1: the deployed DIET hierarchy",
-                     lambda: figure1_architecture.render(
+                     lambda args: figure1_architecture.render(
                          figure1_architecture.run())),
     "timings": ("E1: §5.2 campaign timings vs the paper",
-                lambda: table_timings.render(table_timings.run())),
+                lambda args: table_timings.render(table_timings.run())),
     "figure4": ("E2/E3: request distribution + per-SeD execution time",
-                lambda: figure4.render(figure4.run())),
+                lambda args: figure4.render(figure4.run())),
     "figure5": ("E4/E5: finding time + latency",
-                lambda: figure5.render(figure5.run())),
+                lambda args: figure5.render(figure5.run())),
     "overhead": ("E6: middleware overhead",
-                 lambda: overhead.render(overhead.run())),
+                 lambda args: overhead.render(overhead.run())),
     "ablation": ("E7: plug-in scheduler ablation",
-                 lambda: ablation_scheduler.render(ablation_scheduler.run())),
+                 lambda args: ablation_scheduler.render(
+                     ablation_scheduler.run(jobs=args.jobs))),
     "figure2": ("E8: projected density through cosmic time (real run)",
-                lambda: figure2_density.render(figure2_density.run())),
+                lambda args: figure2_density.render(figure2_density.run())),
     "figure3": ("E9: zoom re-simulation of a halo (real run)",
-                lambda: figure3_zoom.render(figure3_zoom.run())),
+                lambda args: figure3_zoom.render(figure3_zoom.run())),
     "scaling": ("E10: nodes-per-SeD scaling ablation",
-                lambda: scaling_nodes.render(scaling_nodes.run())),
+                lambda args: scaling_nodes.render(
+                    scaling_nodes.run(jobs=args.jobs))),
     "degraded": ("E11: the campaign under injected SeD failures",
-                 lambda: degraded_campaign.render(degraded_campaign.run())),
+                 lambda args: degraded_campaign.render(
+                     degraded_campaign.run(jobs=args.jobs))),
 }
+
+#: Experiments that sweep independent runs and accept ``--jobs``.
+_PARALLEL = ("ablation", "scaling", "degraded")
 
 
 def _run_campaign(args) -> str:
@@ -87,7 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
     for name, (desc, _) in _EXPERIMENTS.items():
-        sub.add_parser(name, help=desc)
+        p = sub.add_parser(name, help=desc)
+        if name in _PARALLEL:
+            p.add_argument(
+                "--jobs", "-j", type=int, default=None,
+                help="worker processes for the sweep (default: serial; "
+                     "0 = one per CPU core)")
 
     campaign = sub.add_parser("campaign",
                               help="run a custom campaign configuration")
@@ -117,7 +129,7 @@ def main(argv: Optional[list] = None) -> int:
         print(_run_campaign(args))
         return 0
     _desc, runner = _EXPERIMENTS[args.command]
-    print(runner())
+    print(runner(args))
     return 0
 
 

@@ -32,7 +32,7 @@ from .exceptions import (
 )
 from .pipeline import Interceptor, TracingInterceptor
 from .profile import Profile
-from .requests import SolveRequest, SubmitRequest, new_request_id
+from .requests import SolveRequest, SubmitRequest
 from .statistics import Tracer
 from .transport import Endpoint, TransportFabric
 
@@ -167,7 +167,9 @@ class DietClient:
         """
         self._check_session()
         profile.validate_for_submit()
-        request_id = new_request_id()
+        # Fabric-scoped (not process-global): identical campaigns get
+        # identical request ids regardless of what ran before them.
+        request_id = self.fabric.new_request_id()
 
         # Data Location Manager view: persistent inputs already on SeDs.
         from .data import DataHandle

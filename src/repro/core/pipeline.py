@@ -195,10 +195,29 @@ class Interceptor:
 
 
 class InterceptorPipeline:
-    """An ordered chain of interceptors."""
+    """An ordered chain of interceptors.
+
+    Hot-path discipline: the per-phase hook chains are *pre-bound* —
+    :meth:`hooks` returns a cached tuple of bound hook methods with the
+    no-op defaults already filtered out, so the per-message cost is one
+    dict lookup instead of a list copy plus a ``getattr`` per interceptor
+    (every message crosses four phases, and a campaign sends hundreds of
+    thousands).  Mutating the chain through :meth:`add` / :meth:`remove`
+    bumps :attr:`version`, which invalidates the caches here and the
+    combined per-endpoint chains in the transport.
+    """
 
     def __init__(self, interceptors: Iterable[Interceptor] = ()):
         self.interceptors: List[Interceptor] = list(interceptors)
+        #: Bumped on every add/remove; consumers key their caches on it.
+        self.version = 0
+        self._hooks: Dict[str, tuple] = {}
+        self._policies: Dict[str, Optional[RpcPolicy]] = {}
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        self._hooks.clear()
+        self._policies.clear()
 
     def add(self, interceptor: Interceptor, index: Optional[int] = None) -> Interceptor:
         """Append (or insert at ``index``) an interceptor; returns it."""
@@ -206,10 +225,12 @@ class InterceptorPipeline:
             self.interceptors.append(interceptor)
         else:
             self.interceptors.insert(index, interceptor)
+        self._invalidate()
         return interceptor
 
     def remove(self, interceptor: Interceptor) -> None:
         self.interceptors.remove(interceptor)
+        self._invalidate()
 
     def find(self, kind: type) -> Optional[Interceptor]:
         """First installed interceptor of ``kind``, or None."""
@@ -218,23 +239,48 @@ class InterceptorPipeline:
                 return icpt
         return None
 
+    def hooks(self, phase: str) -> tuple:
+        """Pre-bound hook chain for ``phase`` (no-op defaults skipped)."""
+        chain = self._hooks.get(phase)
+        if chain is None:
+            attr = "intercept_" + phase
+            default = getattr(Interceptor, attr)
+            chain = tuple(getattr(icpt, attr) for icpt in self.interceptors
+                          if getattr(type(icpt), attr, None) is not default)
+            self._hooks[phase] = chain
+        return chain
+
     def run(self, phase: str, ctx: MessageContext) -> Generator[Event, Any, None]:
         """Run this chain's hooks for ``phase``, in installation order."""
-        for icpt in list(self.interceptors):
-            yield from getattr(icpt, "intercept_" + phase)(ctx)
+        for hook in self.hooks(phase):
+            yield from hook(ctx)
 
     def rpc_policy(self, op: str) -> Optional[RpcPolicy]:
+        """First non-None policy granted for ``op`` (cached per op until
+        the chain is mutated — policies are expected to be stable for a
+        given chain, as :class:`DeadlineInterceptor`'s are)."""
+        try:
+            return self._policies[op]
+        except KeyError:
+            pass
+        policy = None
         for icpt in self.interceptors:
             policy = icpt.rpc_policy(op)
             if policy is not None:
-                return policy
-        return None
+                break
+        self._policies[op] = policy
+        return policy
 
 
 def run_chains(phase: str, endpoint_pipeline: InterceptorPipeline,
                fabric_pipeline: InterceptorPipeline,
                ctx: MessageContext) -> Generator[Event, Any, None]:
-    """Run the layered chain for one phase (see module docstring)."""
+    """Run the layered chain for one phase (see module docstring).
+
+    The transport's :meth:`~repro.core.transport.Endpoint.run_chain` is the
+    fast path (combined pre-bound chain per endpoint); this function is the
+    composable equivalent for callers holding two bare pipelines.
+    """
     ctx.phase = phase
     if phase in OUTBOUND_PHASES:
         order = (endpoint_pipeline, fabric_pipeline)
@@ -285,7 +331,12 @@ class AccountingInterceptor(Interceptor):
     def __init__(self):
         self.messages_sent = 0
         self.bytes_sent = 0
-        self.messages_by_op: Dict[str, int] = {}
+        #: Append-only op-name buffer; the per-op histogram is aggregated
+        #: lazily in :attr:`messages_by_op` so the per-message cost is one
+        #: list append instead of a dict read-modify-write.
+        self._ops: List[str] = []
+        self._by_op: Dict[str, int] = {}
+        self._by_op_agg = 0  # buffer entries already folded into _by_op
         #: Messages swallowed by a fault-injection (or other) interceptor.
         self.messages_dropped = 0
         #: Requests/replies that could never be delivered (endpoint stopped
@@ -294,10 +345,22 @@ class AccountingInterceptor(Interceptor):
         #: Duplicate replies suppressed by at-most-once RPC semantics.
         self.replies_suppressed = 0
 
+    @property
+    def messages_by_op(self) -> Dict[str, int]:
+        """Per-op message counts (aggregated from the buffer on access)."""
+        ops = self._ops
+        start = self._by_op_agg
+        if start < len(ops):
+            by_op = self._by_op
+            self._by_op_agg = len(ops)
+            for op in ops[start:]:
+                by_op[op] = by_op.get(op, 0) + 1
+        return self._by_op
+
     def _count(self, ctx: MessageContext) -> None:
         self.messages_sent += 1
         self.bytes_sent += ctx.nbytes
-        self.messages_by_op[ctx.op] = self.messages_by_op.get(ctx.op, 0) + 1
+        self._ops.append(ctx.op)
 
     def intercept_send(self, ctx: MessageContext) -> Generator[Event, Any, None]:
         self._count(ctx)

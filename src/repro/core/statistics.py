@@ -20,9 +20,14 @@ from typing import Dict, List, Optional
 __all__ = ["RequestTrace", "Tracer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestTrace:
-    """Lifecycle timestamps of one request (simulated seconds)."""
+    """Lifecycle timestamps of one request (simulated seconds).
+
+    ``slots=True``: campaigns create one record per request and stamp each
+    field once from the interceptor hot path — slots make those attribute
+    writes cheaper and the records smaller.
+    """
 
     request_id: int
     service: str
@@ -104,15 +109,22 @@ class Tracer:
 
     def __init__(self):
         self._traces: Dict[int, RequestTrace] = {}
+        #: Records in creation order — the append-only buffer report-time
+        #: aggregation works from (the dict above is just the id index).
+        self._order: List[RequestTrace] = []
+        #: Free-form middleware events, append-only.
         self.events: List[tuple] = []
 
     # -- recording --------------------------------------------------------------
 
     def trace(self, request_id: int, service: str = "") -> RequestTrace:
+        """Get-or-create the record for ``request_id`` (the stamp hot path:
+        interceptors call this once per lifecycle phase per request)."""
         rec = self._traces.get(request_id)
         if rec is None:
             rec = RequestTrace(request_id=request_id, service=service)
             self._traces[request_id] = rec
+            self._order.append(rec)
         elif service and not rec.service:
             rec.service = service
         return rec
@@ -123,8 +135,10 @@ class Tracer:
     # -- series for the figures ----------------------------------------------------
 
     def all_traces(self, service: Optional[str] = None) -> List[RequestTrace]:
-        out = [t for t in self._traces.values()
-               if service is None or t.service == service]
+        """Report-time aggregation: sort the append-only record buffer by
+        submission time (records are never mutated here, only viewed)."""
+        out = self._order if service is None else [
+            t for t in self._order if t.service == service]
         return sorted(out, key=lambda t: (t.submitted_at if t.submitted_at is not None
                                           else float("inf"), t.request_id))
 

@@ -41,13 +41,13 @@ from ..sim.network import Network
 from ..sim.resources import Store
 from .exceptions import CommunicationError, DeadlineExceededError
 from .pipeline import (
+    OUTBOUND_PHASES,
     AccountingInterceptor,
     Interceptor,
     InterceptorPipeline,
     MarshallingInterceptor,
     MessageContext,
     MessageDropped,
-    run_chains,
 )
 
 __all__ = ["TransportParams", "Message", "Endpoint", "TransportFabric"]
@@ -112,6 +112,10 @@ class Endpoint:
         self.host_name = host_name
         self.mailbox: Store = Store(fabric.engine)
         self.pipeline = InterceptorPipeline(interceptors)
+        #: Combined (endpoint + fabric) pre-bound hook chains, one tuple per
+        #: phase, rebuilt lazily whenever either pipeline's version moves.
+        self._chains: Dict[str, tuple] = {}
+        self._chains_key: Tuple[int, int] = (-1, -1)
         self._handlers: Dict[str, Callable] = {}
         #: Requests currently being handled: msg_id -> (message, process).
         #: :meth:`stop` interrupts these so a crashing server neither strands
@@ -124,6 +128,38 @@ class Endpoint:
     def closed(self) -> bool:
         """True once :meth:`stop` (or :meth:`TransportFabric.unbind`) ran."""
         return self._closed
+
+    # -- interceptor chain fast path -------------------------------------------
+
+    def chain_hooks(self, phase: str) -> tuple:
+        """The combined pre-bound hook chain for ``phase``.
+
+        Layering matches :func:`~repro.core.pipeline.run_chains`: endpoint
+        hooks wrap fabric hooks on outbound phases, the reverse inbound.
+        Cached against both pipelines' versions so per-message work is two
+        dict probes instead of rebuilding the layering and re-fetching every
+        hook.
+        """
+        ep, fab = self.pipeline, self.fabric.pipeline
+        key = (ep.version, fab.version)
+        if key != self._chains_key:
+            self._chains.clear()
+            self._chains_key = key
+        hooks = self._chains.get(phase)
+        if hooks is None:
+            if phase in OUTBOUND_PHASES:
+                hooks = ep.hooks(phase) + fab.hooks(phase)
+            else:
+                hooks = fab.hooks(phase) + ep.hooks(phase)
+            self._chains[phase] = hooks
+        return hooks
+
+    def run_chain(self, phase: str,
+                  ctx: MessageContext) -> Generator[Event, Any, None]:
+        """Run the combined chain for one phase of ``ctx`` (fast path)."""
+        ctx.phase = phase
+        for hook in self.chain_hooks(phase):
+            yield from hook(ctx)
 
     # -- handler registration --------------------------------------------------
 
@@ -165,7 +201,7 @@ class Endpoint:
         try:
             try:
                 # Server-side dispatch cost + any deliver-side interceptors.
-                yield from run_chains("deliver", self.pipeline, self.fabric.pipeline, ctx)
+                yield from self.run_chain("deliver", ctx)
             except MessageDropped:
                 self.fabric.accounting.note_dropped()
                 return
@@ -266,8 +302,7 @@ class Endpoint:
             ctx = MessageContext(self.fabric, msg, self, reply_nbytes,
                                  reply_status=status, reply_value=value,
                                  attempt=attempt)
-            yield from run_chains("complete", self.pipeline,
-                                  self.fabric.pipeline, ctx)
+            yield from self.run_chain("complete", ctx)
             if status == "error":
                 raise value
             return value
@@ -286,10 +321,21 @@ class TransportFabric:
         self.params = params or TransportParams()
         self._endpoints: Dict[str, Endpoint] = {}
         self._msg_ids = itertools.count(1)
+        #: Request ids are fabric-scoped, not process-global: a campaign's
+        #: ids are then a pure function of the campaign itself, so two runs
+        #: of the same seeded experiment — in one process, in different
+        #: processes, serial or under the parallel runner — label their
+        #: traces identically.
+        self._request_ids = itertools.count(1)
         #: Fabric-wide chain: cost model first (wire time), then accounting.
         self.pipeline = InterceptorPipeline()
         self.marshalling = self.pipeline.add(MarshallingInterceptor(self.params))
         self.accounting = self.pipeline.add(AccountingInterceptor())
+
+    def new_request_id(self) -> int:
+        """Next request id, unique within this fabric (all clients of a
+        deployment share the counter, so ids never collide)."""
+        return next(self._request_ids)
 
     # -- counters (kept as properties for the statistics layer) -----------------
 
@@ -346,7 +392,7 @@ class TransportFabric:
         ctx = MessageContext(self, msg, src, size, attempt=attempt)
         try:
             # Sender-side chain: marshalling cost, accounting, tracing, faults.
-            yield from run_chains("send", src.pipeline, self.pipeline, ctx)
+            yield from src.run_chain("send", ctx)
         except MessageDropped:
             self.accounting.note_dropped()
             return msg
@@ -383,7 +429,7 @@ class TransportFabric:
             ctx = MessageContext(self, request, replier, nbytes,
                                  reply_status=status, reply_value=value)
             try:
-                yield from run_chains("reply", replier.pipeline, self.pipeline, ctx)
+                yield from replier.run_chain("reply", ctx)
             except MessageDropped:
                 self.accounting.note_dropped()
                 return

@@ -10,6 +10,7 @@ from . import (
     figure4,
     figure5,
     overhead,
+    runner,
     scaling_nodes,
     table_timings,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "hms",
     "ms",
     "overhead",
+    "runner",
     "scaling_nodes",
     "table_timings",
 ]

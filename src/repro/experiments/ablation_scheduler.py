@@ -15,8 +15,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..services.ramses_service import ExecutionMode
-from ..services.workflow import CampaignConfig, CampaignResult, run_campaign
+from ..services.workflow import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+    run_campaign_detached,
+)
 from .report import ascii_table, hms
+from .runner import Task, run_tasks
 
 __all__ = ["AblationResult", "run", "render", "DEFAULT_POLICIES"]
 
@@ -55,11 +61,15 @@ class AblationResult:
 
 
 def run(base_config: Optional[CampaignConfig] = None,
-        policies=DEFAULT_POLICIES) -> AblationResult:
+        policies=DEFAULT_POLICIES,
+        jobs: Optional[int] = None) -> AblationResult:
+    """One campaign per policy; ``jobs`` runs the policies in worker
+    processes (each campaign is seeded and independent, so the parallel
+    sweep returns the same campaigns — detached — as the serial one)."""
     base = base_config or CampaignConfig()
-    result = AblationResult()
+    configs = []
     for policy, with_predictor in policies:
-        cfg = CampaignConfig(
+        configs.append(CampaignConfig(
             n_sub_simulations=base.n_sub_simulations,
             resolution=base.resolution,
             boxsize_mpc_h=base.boxsize_mpc_h,
@@ -67,8 +77,17 @@ def run(base_config: Optional[CampaignConfig] = None,
             mode=base.mode, policy=policy,
             with_predictor=with_predictor, seed=base.seed,
             workdir=base.workdir, real_n_steps=base.real_n_steps,
-            real_a_end=base.real_a_end, cluster_specs=base.cluster_specs)
-        result.campaigns[policy] = run_campaign(cfg)
+            real_a_end=base.real_a_end, cluster_specs=base.cluster_specs))
+    result = AblationResult()
+    if jobs is not None and jobs != 1:
+        campaigns = run_tasks(
+            [Task(key=f"policy={cfg.policy}", func=run_campaign_detached,
+                  args=(cfg,), seed=cfg.seed) for cfg in configs], jobs=jobs)
+        for cfg, campaign in zip(configs, campaigns):
+            result.campaigns[cfg.policy] = campaign
+    else:
+        for cfg in configs:
+            result.campaigns[cfg.policy] = run_campaign(cfg)
     return result
 
 

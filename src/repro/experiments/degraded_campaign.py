@@ -20,8 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..services import CampaignConfig, CampaignResult, FailurePlan, run_campaign
+from ..services import (
+    CampaignConfig,
+    CampaignResult,
+    FailurePlan,
+    run_campaign,
+    run_campaign_detached,
+)
 from .report import ascii_table, hms
+from .runner import Task, run_tasks
 
 __all__ = ["DegradedRun", "DegradedResult", "run", "render", "DEFAULT_CRASH_COUNTS"]
 
@@ -70,18 +77,20 @@ class DegradedResult:
 
 def run(crash_counts: Sequence[int] = DEFAULT_CRASH_COUNTS,
         n_sub_simulations: int = 100, seed: int = 2007,
-        plan: Optional[FailurePlan] = None) -> DegradedResult:
+        plan: Optional[FailurePlan] = None,
+        jobs: Optional[int] = None) -> DegradedResult:
     """Baseline (no failures) + one degraded campaign per crash count.
 
     Every campaign shares the seed, so the workload and the non-crashing
     machinery are identical run to run; only the injected failures differ.
+    ``jobs`` runs the baseline and the degraded campaigns in worker
+    processes — they never communicate, so parallel results (detached)
+    match the serial sweep exactly.
     """
-    baseline = run_campaign(CampaignConfig(
-        n_sub_simulations=n_sub_simulations, seed=seed))
     base_plan = plan or FailurePlan()
-    runs = []
+    configs = [CampaignConfig(n_sub_simulations=n_sub_simulations, seed=seed)]
     for k in crash_counts:
-        result = run_campaign(CampaignConfig(
+        configs.append(CampaignConfig(
             n_sub_simulations=n_sub_simulations, seed=seed,
             failures=FailurePlan(
                 n_crashes=k,
@@ -93,8 +102,17 @@ def run(crash_counts: Sequence[int] = DEFAULT_CRASH_COUNTS,
                 checkpoint_interval_work=base_plan.checkpoint_interval_work,
                 max_solve_attempts=base_plan.max_solve_attempts,
                 retry_backoff=base_plan.retry_backoff)))
-        runs.append(DegradedRun(n_crashes=k, result=result))
-    return DegradedResult(baseline=baseline, runs=runs)
+    if jobs is not None and jobs != 1:
+        results = run_tasks(
+            [Task(key=("baseline" if cfg.failures is None
+                       else f"crashes={cfg.failures.n_crashes}"),
+                  func=run_campaign_detached, args=(cfg,), seed=seed)
+             for cfg in configs], jobs=jobs)
+    else:
+        results = [run_campaign(cfg) for cfg in configs]
+    runs = [DegradedRun(n_crashes=k, result=result)
+            for k, result in zip(crash_counts, results[1:])]
+    return DegradedResult(baseline=results[0], runs=runs)
 
 
 def render(result: DegradedResult) -> str:

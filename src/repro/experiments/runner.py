@@ -1,0 +1,174 @@
+"""Parallel experiment runner: a process-pool map over independent runs.
+
+The experiments that sweep a parameter (E7's scheduler policies, E10's rank
+counts, E11's crash counts) repeat one expensive, fully seeded computation
+per sweep point; the points never communicate.  :func:`run_tasks` maps such
+a sweep over worker processes while keeping the three properties the
+reproduction depends on:
+
+* **Determinism** — every :class:`Task` carries its inputs (including any
+  seed) explicitly; workers never draw from inherited global RNG state.
+  Results come back in *task order* regardless of completion order, so a
+  parallel sweep is byte-identical to the serial one.
+* **Crash surfacing** — an exception inside a worker is re-raised in the
+  parent as a :class:`WorkerError` naming the task and carrying the remote
+  traceback text; a hard worker death (signal, interpreter abort) raises
+  :class:`WorkerCrash` instead of hanging the pool.
+* **Cheap sharing** — the pool is created *after* the caller has staged any
+  large read-only inputs in module globals, and uses the ``fork`` start
+  method where available, so workers inherit those inputs by copy-on-write
+  instead of pickling them per task (see ``scaling_nodes`` for the
+  pattern).
+
+Campaign-shaped tasks must return **detached** results
+(:meth:`repro.services.CampaignResult.detach`): live deployments hold the
+simulation engine and agent generators, which cannot cross a process
+boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Task", "WorkerCrash", "WorkerError", "canonical_pickle",
+           "derive_seed", "resolve_jobs", "run_tasks"]
+
+
+def canonical_pickle(obj: Any) -> bytes:
+    """Pickle ``obj`` into its round-trip fixed point, for byte comparisons.
+
+    ``pickle.dumps`` is not stable under round-trips: interpreter-interned
+    strings (identifier-like dict keys, names) are shared objects on first
+    pickling and therefore memo references, but come back *non-interned*
+    from ``loads`` — so re-pickling a round-tripped object yields different
+    bytes than pickling the original, despite equal values.  One
+    dump/load/dump settles the object graph into the form every later
+    round trip reproduces, making byte equality a sound way to compare a
+    result computed in-process with one shipped back from a worker.
+    """
+    import pickle
+
+    return pickle.dumps(pickle.loads(pickle.dumps(obj)))
+
+
+class WorkerError(RuntimeError):
+    """A task raised inside a worker process.
+
+    ``key`` names the failing task; ``remote_traceback`` is the formatted
+    traceback from the worker (the original frames cannot cross the process
+    boundary, their text can).
+    """
+
+    def __init__(self, key: str, exc_type: str, exc_msg: str,
+                 remote_traceback: str):
+        super().__init__(f"task {key!r} failed in worker: "
+                         f"{exc_type}: {exc_msg}")
+        self.key = key
+        self.remote_traceback = remote_traceback
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died without reporting (signal, hard abort)."""
+
+    def __init__(self, key: str, detail: str):
+        super().__init__(f"worker crashed while running task {key!r}: {detail}")
+        self.key = key
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of a sweep: a picklable module-level callable + its inputs.
+
+    ``key`` labels the task in error messages and progress accounting.
+    ``seed`` is informational — record the task's seed here *and* pass it
+    through ``args``/``kwargs``; the runner never injects seeds itself.
+    """
+
+    key: str
+    func: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+
+def derive_seed(base: int, index: int) -> int:
+    """Stable per-task seed: hash, don't offset.
+
+    ``base + index`` collides across sweeps that already use consecutive
+    base seeds; a hash keeps every (base, index) stream disjoint and is
+    identical across platforms and Python versions (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(f"{base}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2 ** 63)
+
+
+def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:
+    """Worker count for a sweep: ``None``/1 → serial, 0/negative → one per
+    core, anything else clamped to the task count (idle workers cost fork
+    time for nothing)."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_tasks))
+
+
+def _mp_context():
+    """``fork`` where the platform offers it (workers then inherit staged
+    module globals copy-on-write); the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _invoke(task: Task) -> Tuple[bool, Any]:
+    """Worker-side shim: run the task, shipping failures back as data
+    (raising out of a pool worker would lose the traceback text)."""
+    try:
+        return (True, task.func(*task.args, **task.kwargs))
+    except Exception as exc:
+        return (False, (type(exc).__name__, str(exc),
+                        traceback.format_exc()))
+
+
+def _unwrap(task: Task, ok: bool, payload: Any) -> Any:
+    if ok:
+        return payload
+    exc_type, exc_msg, tb_text = payload
+    raise WorkerError(task.key, exc_type, exc_msg, tb_text)
+
+
+def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None) -> List[Any]:
+    """Run every task; return their results in task order.
+
+    ``jobs=None`` or ``1`` runs serially in-process (no pool, no fork) —
+    the same code path shape, so serial and parallel sweeps differ only in
+    *where* each task runs, never in what it computes.  The first failing
+    task raises; with a pool, tasks already submitted keep running to
+    completion in the background, but their results are discarded.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    n_jobs = resolve_jobs(jobs, len(tasks))
+    if n_jobs == 1:
+        return [_unwrap(task, *_invoke(task)) for task in tasks]
+
+    results: List[Any] = []
+    with ProcessPoolExecutor(max_workers=n_jobs,
+                             mp_context=_mp_context()) as pool:
+        futures = [(task, pool.submit(_invoke, task)) for task in tasks]
+        for task, future in futures:
+            try:
+                ok, payload = future.result()
+            except BrokenExecutor as exc:
+                raise WorkerCrash(task.key, str(exc)) from exc
+            results.append(_unwrap(task, ok, payload))
+    return results

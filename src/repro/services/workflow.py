@@ -44,8 +44,9 @@ from .ramses_service import (
     register_ramses_services,
 )
 
-__all__ = ["CampaignConfig", "CampaignResult", "FailurePlan", "FailureReport",
-           "run_campaign", "synthetic_zoom_centers"]
+__all__ = ["CampaignConfig", "CampaignResult", "DetachedDeployment",
+           "FailurePlan", "FailureReport", "run_campaign",
+           "run_campaign_detached", "synthetic_zoom_centers"]
 
 
 @dataclass(frozen=True)
@@ -131,12 +132,53 @@ class CampaignConfig:
     failures: Optional[FailurePlan] = None
 
 
+@dataclass(frozen=True)
+class _DetachedSeD:
+    """Name + timing knobs of a SeD, without the live serving machinery."""
+
+    name: str
+    params: "object"  # SeDParams — frozen dataclass of plain numbers
+
+
+class DetachedDeployment:
+    """Picklable stand-in for :class:`Deployment` on a finished campaign.
+
+    A live deployment holds the engine, the transport fabric and every
+    agent's generator state — none of which can cross a process boundary.
+    Result *consumers* only ever read the tracer, the SeD roster and the
+    cluster mapping, so :meth:`CampaignResult.detach` swaps the live stack
+    for this snapshot; worker processes in the parallel experiment runner
+    return detached results to the parent.
+    """
+
+    __slots__ = ("tracer", "seds", "sed_names", "_clusters")
+
+    def __init__(self, deployment: Deployment):
+        self.tracer = deployment.tracer
+        self.seds = [_DetachedSeD(name=sed.name, params=sed.params)
+                     for sed in deployment.seds]
+        self.sed_names = [sed.name for sed in deployment.seds]
+        self._clusters = {sed.name: deployment.cluster_of_sed(sed.name)
+                          for sed in deployment.seds}
+
+    def cluster_of_sed(self, sed_name: str) -> str:
+        return self._clusters[sed_name]
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
 @dataclass
 class CampaignResult:
     """Outcome + every series the §5 evaluation reports."""
 
     config: CampaignConfig
-    deployment: Deployment
+    #: The live stack, or its picklable snapshot after :meth:`detach`.
+    deployment: "Deployment | DetachedDeployment"
     part1_trace: RequestTrace
     part2_traces: List[RequestTrace]
     statuses: List[int]
@@ -243,6 +285,22 @@ class CampaignResult:
                 init = self.deployment.seds[0].params.service_init_time
             out.append(t.finding_time + init)
         return out
+
+    # -- process-boundary support ------------------------------------------------------
+
+    def detach(self) -> "CampaignResult":
+        """Replace the live deployment with a picklable snapshot (in place).
+
+        The engine, fabric and agent generators cannot be pickled (nor is
+        there any reason to ship them between processes); everything the
+        result accessors read — tracer, SeD roster, cluster mapping —
+        survives in the :class:`DetachedDeployment`.  Returns ``self`` so
+        worker functions can ``return run_campaign(cfg).detach()``.
+        Idempotent: detaching a detached result is a no-op.
+        """
+        if not isinstance(self.deployment, DetachedDeployment):
+            self.deployment = DetachedDeployment(self.deployment)
+        return self
 
 
 def synthetic_zoom_centers(n: int, seed: int) -> List[Tuple[float, float, float]]:
@@ -414,3 +472,9 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
                           statuses=statuses,
                           zoom_centers=list(outcome.get("centers", [])),
                           failure_report=failure_report)
+
+
+def run_campaign_detached(config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run a campaign and detach the result — the worker-process entry point
+    the parallel experiment runner maps over (module-level, so picklable)."""
+    return run_campaign(config).detach()

@@ -14,13 +14,25 @@ All simulated time is a ``float`` in **seconds**.  The kernel is fully
 deterministic: two runs with the same seed and the same process creation
 order produce identical event orderings (ties are broken by a monotonically
 increasing sequence number).
+
+Hot-path discipline (PR 3): campaigns dispatch hundreds of thousands of
+events, so the create/schedule/dispatch/resume cycle is written for
+throughput — ``__slots__`` everywhere, scheduling inlined into the
+constructors and trigger paths (no per-push closures or helper frames),
+single-callback dispatch without copying, and a ``run()`` loop that keeps
+the queue and clock in locals.  The determinism suite
+(``tests/property/test_kernel_determinism.py``) pins the exact event
+stream these fast paths must preserve.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .simcore import CTimeout, EventHeap, _C
+
+_INF = float("inf")
 
 __all__ = [
     "Engine",
@@ -106,27 +118,39 @@ class Event:
 
     def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        self._trigger(True, value, priority)
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._scheduled = True
+        self.engine._queue.pushnow(priority, self)
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event with an exception (re-raised in waiters)."""
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
-        self._trigger(False, exception, priority)
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self._scheduled = True
+        self.engine._queue.pushnow(priority, self)
         return self
 
     def _trigger(self, ok: bool, value: Any, priority: int) -> None:
+        # Kept for subclass/test use; succeed()/fail() inline this.
         if self._scheduled:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = ok
         self._value = value
         self._scheduled = True
-        self.engine._schedule(self, delay=0.0, priority=priority)
+        self.engine._queue.pushnow(priority, self)
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
+        if callbacks is None:
+            raise SimulationError(f"{self!r} dispatched twice")
         for cb in callbacks:
             cb(self)
 
@@ -136,7 +160,14 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after ``delay`` simulated seconds."""
+    """An event that fires automatically after ``delay`` simulated seconds.
+
+    Fast path: a Timeout is *born scheduled* — its outcome is decided at
+    creation, so the constructor sets the event state directly and pushes
+    the heap entry itself instead of going through
+    ``Event.__init__`` + ``_trigger`` (three frames saved per event on the
+    kernel's single hottest allocation site).
+    """
 
     __slots__ = ("delay",)
 
@@ -144,12 +175,20 @@ class Timeout(Event):
                  priority: int = PRIORITY_NORMAL):
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        super().__init__(engine)
-        self.delay = delay
-        self._ok = True
+        self.engine = engine
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._scheduled = True
-        engine._schedule(self, delay=delay, priority=priority)
+        self.delay = delay
+        engine._queue.pushdelay(delay, priority, self)
+
+
+if CTimeout is not None:
+    # The C fast path: same constructor signature, same duck-typed Event
+    # surface, same type __name__ (so determinism event logs match), but
+    # the whole create-and-schedule cycle runs without a Python frame.
+    Timeout = CTimeout  # noqa: F811
 
 
 class _ConditionEvent(Event):
@@ -162,40 +201,56 @@ class _ConditionEvent(Event):
     reply events that deadline races keep re-creating).
     """
 
-    __slots__ = ("events", "_n_fired")
+    __slots__ = ("events", "_n_fired", "_n_sub")
 
     def __init__(self, engine: "Engine", events: Iterable[Event]):
-        super().__init__(engine)
+        # Event.__init__ inlined: conditions are created once per wait in
+        # the deadline-race hot loop.
+        self.engine = engine
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
         self.events = list(events)
         self._n_fired = 0
+        #: How many children were actually subscribed (settling
+        #: mid-registration stops the subscription loop early); _detach
+        #: only visits these, so it never has to probe for membership.
+        self._n_sub = 0
         if not self.events:
             # An empty condition is immediately true.
             self.succeed({})
             return
+        on_fire = self._on_fire
         for ev in self.events:
-            if ev.processed:
-                self._on_fire(ev)
+            cbs = ev.callbacks
+            if cbs is None:
+                # Already fired and processed: settle synchronously.
+                on_fire(ev)
+                if self._scheduled:
+                    # Settled mid-registration (an already-fired child
+                    # decided the outcome): later siblings must not be
+                    # subscribed.
+                    break
             else:
-                if ev.callbacks is None:
-                    self._on_fire(ev)
-                else:
-                    ev.callbacks.append(self._on_fire)
-            if self._scheduled:
-                # Settled mid-registration (an already-fired child decided
-                # the outcome): later siblings must not be subscribed.
-                break
+                cbs.append(on_fire)
+                self._n_sub += 1
 
     def _detach(self) -> None:
-        """Drop our callback from every still-pending child event."""
-        for ev in self.events:
-            if ev.callbacks is not None:
+        """Drop our callback from every still-pending subscribed child."""
+        on_fire = self._on_fire
+        events = self.events
+        for i in range(self._n_sub):
+            cbs = events[i].callbacks
+            if cbs is not None:
                 try:
-                    ev.callbacks.remove(self._on_fire)
+                    cbs.remove(on_fire)
                 except ValueError:
                     pass
 
     def _collect(self) -> dict:
-        return {ev: ev._value for ev in self.events if ev._scheduled and ev.processed}
+        return {ev: ev._value for ev in self.events
+                if ev._scheduled and ev.callbacks is None}
 
     def _on_fire(self, event: Event) -> None:
         raise NotImplementedError
@@ -245,7 +300,8 @@ class Process(Event):
     other simply by yielding the other process.
     """
 
-    __slots__ = ("generator", "name", "_target", "_interrupts", "_defused")
+    __slots__ = ("generator", "name", "_target", "_interrupts", "_defused",
+                 "_resume_cb")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator,
                  name: Optional[str] = None):
@@ -255,9 +311,14 @@ class Process(Event):
         self._target: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
         self._defused = False
+        #: The bound resume method, created once.  Every subscription uses
+        #: this same object: no bound-method allocation per wake-up, and the
+        #: C dispatch loop recognises it by its ``__func__`` to run the
+        #: resume fully in C.
+        self._resume_cb = self._resume
         # Bootstrap: resume once at the current time.
         boot = Timeout(engine, 0.0, priority=PRIORITY_URGENT)
-        boot.callbacks.append(self._resume)
+        boot.callbacks.append(self._resume_cb)
         self._target = boot
 
     @property
@@ -273,25 +334,31 @@ class Process(Event):
         target, self._target = self._target, None
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         wake = Timeout(self.engine, 0.0, priority=PRIORITY_URGENT)
-        wake.callbacks.append(self._resume)
+        wake.callbacks.append(self._resume_cb)
         self._target = wake
 
     def _resume(self, event: Event) -> None:
-        self.engine._active_process = self
+        # The kernel's hottest frame: runs once per process wake-up.  The
+        # generator, interrupt queue and engine are pinned in locals; the
+        # "already fired" shortcut reads ``callbacks is None`` directly
+        # instead of the ``processed`` property.
+        engine = self.engine
+        engine._active_process = self
+        generator = self.generator
+        interrupts = self._interrupts
         try:
             while True:
                 try:
-                    if self._interrupts:
-                        exc = self._interrupts.pop(0)
-                        next_event = self.generator.throw(exc)
+                    if interrupts:
+                        next_event = generator.throw(interrupts.pop(0))
                     elif event._ok:
-                        next_event = self.generator.send(event._value)
+                        next_event = generator.send(event._value)
                     else:
-                        next_event = self.generator.throw(event._value)
+                        next_event = generator.throw(event._value)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     return
@@ -302,49 +369,83 @@ class Process(Event):
                     # if nobody is watching, escalate at dispatch time.
                     self.fail(exc)
                     return
-                if not isinstance(next_event, Event):
+                try:
+                    cbs = next_event.callbacks
+                except AttributeError:
                     raise SimulationError(
-                        f"process {self.name!r} yielded {next_event!r}, not an Event")
-                if next_event.processed:
+                        f"process {self.name!r} yielded {next_event!r}, "
+                        f"not an Event") from None
+                if cbs is None:
                     # Already fired: loop around synchronously.
                     event = next_event
                     continue
                 self._target = next_event
-                if next_event.callbacks is None:
-                    raise SimulationError("cannot wait on a processed event")
-                next_event.callbacks.append(self._resume)
+                cbs.append(self._resume_cb)
                 return
         finally:
-            self.engine._active_process = None
+            engine._active_process = None
 
 
 class Engine:
     """The simulation engine: clock plus event queue."""
 
+    __slots__ = ("_queue", "_active_process", "event_log", "timeout")
+
+    #: Class-wide default for :attr:`event_log`.  Tests set this to a list
+    #: before building a stack whose engines they cannot reach (e.g. the
+    #: campaign workflow creates its own Engine) to capture the full
+    #: dispatch stream; ``None`` (the default) costs one pointer check per
+    #: event.
+    default_event_log: Optional[List[tuple]] = None
+
     def __init__(self):
-        self._now = 0.0
-        self._queue: List[tuple] = []
-        self._seq = itertools.count()
+        self._queue = EventHeap()
         self._active_process: Optional[Process] = None
+        #: When a list, every dispatched event appends
+        #: ``(time, priority, seq, kind, name)`` — the exact total order the
+        #: kernel executed.  The determinism suite diffs these streams.
+        self.event_log: Optional[List[tuple]] = Engine.default_event_log
+        #: ``timeout(delay[, value[, priority]])`` — the Timeout factory,
+        #: pre-bound so the hottest allocation site skips the method frame.
+        #: The C Timeout takes the heap directly (its constructor reads the
+        #: clock from the queue); the Python fallback takes the engine.
+        self.timeout = partial(
+            Timeout, self._queue if CTimeout is not None else self)
 
     # -- clock ----------------------------------------------------------------
 
     @property
     def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        """Current simulated time in seconds (owned by the event queue)."""
+        return self._queue.now
+
+    @property
+    def _now(self) -> float:
+        # Kept as an alias: pre-PR-3 kernel code and tests read engine._now;
+        # the queue owns the clock now so dispatch never boxes it.
+        return self._queue.now
+
+    @_now.setter
+    def _now(self, value: float) -> None:
+        self._queue.now = value
 
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever pushed onto the queue (the seq counter)."""
+        return self._queue.count
 
     # -- event factories --------------------------------------------------------
 
     def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    # ``timeout`` is an instance attribute (a pre-bound partial) — see
+    # __init__.  It keeps the historical ``engine.timeout(delay, value)``
+    # call shape.
 
     def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
         return Process(self, generator, name=name)
@@ -358,27 +459,49 @@ class Engine:
     # -- scheduling -----------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        self._queue.pushdelay(delay, priority, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peektime()
+
+    def _dispatch(self, when: float, prio: int, seq: int, event: Event) -> None:
+        """Advance the clock to ``when`` and run ``event``'s callbacks.
+
+        Shared tail of :meth:`step` and the logging :meth:`run` loop — the
+        heap pop happens at the call sites (and already advanced the
+        queue-owned clock); the sync below only matters for direct calls
+        with a hand-made entry.
+        """
+        if when > self._queue.now:
+            self._queue.now = when
+        if self.event_log is not None:
+            self.event_log.append((when, prio, seq, type(event).__name__,
+                                   getattr(event, "name", None)))
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} dispatched twice")
+        if callbacks:
+            if len(callbacks) == 1:
+                # The overwhelmingly common case: exactly one waiter
+                # (a process resume).  Skip the loop setup.
+                callbacks[0](event)
+            else:
+                for cb in callbacks:
+                    cb(event)
+        elif (event._ok is False and isinstance(event, Process)
+                and not event._defused):
+            # A failed process with nobody watching it would otherwise
+            # vanish silently; escalate unless explicitly defused.
+            raise event._value
 
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now - 1e-12:
-            raise SimulationError("event scheduled in the past")
-        self._now = max(self._now, when)
-        had_watchers = bool(event.callbacks)
-        event._run_callbacks()
-        # A failed process with nobody watching it would otherwise vanish
-        # silently; escalate unless explicitly defused.
-        if (isinstance(event, Process) and not event._ok
-                and not had_watchers and not event._defused):
-            raise event._value
+        when, prio, seq, event = self._queue.pop()
+        self._dispatch(when, prio, seq, event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches ``until``.
@@ -387,12 +510,25 @@ class Engine:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self.peek() > until:
-                self._now = until
-                return self._now
-            self.step()
-        return self._now
+        queue = self._queue
+        if self.event_log is not None:
+            # Logging path: full (when, prio, seq) per event, through the
+            # shared _dispatch so the record format lives in one place.
+            dispatch = self._dispatch
+            peektime = queue.peektime
+            while queue:
+                if until is not None and peektime() > until:
+                    self._now = until
+                    return until
+                when, prio, seq, event = queue.pop()
+                dispatch(when, prio, seq, event)
+            return self._now
+        # Fast path: hand the whole pop/dispatch/callback loop to _drain
+        # (the C dispatch loop when the extension is loaded, the Python
+        # mirror below otherwise).  clamp=True pins the clock to `until`
+        # when the next event lies beyond it, matching the logging path.
+        _drain(self, queue, _INF if until is None else until, True, None)
+        return self._queue.now
 
     def run_process(self, generator: ProcessGenerator, until: Optional[float] = None) -> Any:
         """Convenience: spawn ``generator`` and run until it completes.
@@ -419,14 +555,30 @@ class Engine:
         ``max_time`` before the process finishes.
         """
         proc = self.process(generator)
-        while not proc.triggered:
-            if not self._queue:
+        queue = self._queue
+        if self.event_log is not None:
+            dispatch = self._dispatch
+            while not proc._scheduled:
+                if not queue:
+                    raise SimulationError(
+                        f"process {proc.name!r} cannot complete: event queue drained")
+                if max_time is not None and queue.peektime() > max_time:
+                    raise SimulationError(
+                        f"process {proc.name!r} did not finish by t={max_time}")
+                when, prio, seq, event = queue.pop()
+                dispatch(when, prio, seq, event)
+        else:
+            # Fast path: _drain stops at whichever comes first — the
+            # process finishing (2), the queue draining (0), or the next
+            # event lying beyond max_time (1, clock left untouched).
+            code = _drain(self, queue,
+                          _INF if max_time is None else max_time, False, proc)
+            if code == 0:
                 raise SimulationError(
                     f"process {proc.name!r} cannot complete: event queue drained")
-            if max_time is not None and self.peek() > max_time:
+            if code == 1:
                 raise SimulationError(
                     f"process {proc.name!r} did not finish by t={max_time}")
-            self.step()
         if not proc._ok:
             # The exception surfaces here; don't escalate it a second time
             # when the process event itself is dispatched.
@@ -437,3 +589,52 @@ class Engine:
     def defuse(self, process: Process) -> None:
         """Mark a process so its failure is not escalated by the kernel."""
         process._defused = True  # type: ignore[attr-defined]
+
+
+def _py_drain(engine: Engine, queue, until: float, clamp: bool,
+              stopproc: Optional[Process]) -> int:
+    """Pure-Python dispatch loop — the exact mirror of ``_simcore.drain``.
+
+    Returns 0 when the queue drained, 1 when the next event lies beyond
+    ``until`` (clock clamped to ``until`` if ``clamp``), 2 when
+    ``stopproc`` finished.  Keep in sync with :meth:`Engine._dispatch` and
+    the C loop; the determinism suite runs against both.
+    """
+    pop2 = queue.pop2
+    peektime = queue.peektime
+    while True:
+        if stopproc is not None and stopproc._scheduled:
+            return 2
+        if not queue:
+            return 0
+        if peektime() > until:
+            if clamp:
+                queue.now = until
+            return 1
+        when, event = pop2()
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            if len(callbacks) == 1:
+                # The overwhelmingly common case: exactly one waiter
+                # (a process resume).  Skip the loop setup.
+                callbacks[0](event)
+            else:
+                for cb in callbacks:
+                    cb(event)
+        elif callbacks is None:
+            raise SimulationError(f"{event!r} dispatched twice")
+        elif (event._ok is False and isinstance(event, Process)
+                and not event._defused):
+            # A failed process with nobody watching it would otherwise
+            # vanish silently; escalate unless explicitly defused.
+            raise event._value
+
+
+if _C is not None:
+    # Let the C dispatch loop recognise process-resume callbacks (by their
+    # __func__) and raise the kernel's own error type.
+    _C.configure(Process._resume, Process, SimulationError)
+    _drain = _C.drain
+else:
+    _drain = _py_drain

@@ -105,6 +105,11 @@ class Network:
         self._hosts: Dict[str, Host] = {}
         self._adj: Dict[str, List[Tuple[str, Link]]] = {}
         self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
+        #: Per-pair derived route metrics: (latency_sum, bottleneck_bw,
+        #: shared_links_in_lock_order).  Lets transfer_time() and transfer()
+        #: skip the per-call sum/min/sort on the RPC hot path.
+        self._route_info: Dict[Tuple[str, str],
+                               Tuple[float, float, Tuple[Link, ...]]] = {}
 
     # -- topology construction ------------------------------------------------
 
@@ -133,21 +138,36 @@ class Network:
         self._adj[a].append((b, link))
         self._adj[b].append((a, link))
         self._route_cache.clear()
+        self._route_info.clear()
         return link
 
     # -- routing ----------------------------------------------------------------
 
     def route(self, src: str, dst: str) -> List[Link]:
-        """Latency-shortest path between two hosts (cached)."""
+        """Latency-shortest path between two hosts (cached).
+
+        A cache miss runs one full Dijkstra from ``src`` and caches the
+        route to *every* reachable host (plus the symmetric ``(dst, src)``
+        reverses) — all-pairs precompute amortized behind the existing
+        cache, so a fabric of N endpoints pays N single-source expansions
+        instead of N² pairwise searches.
+        """
         if src == dst:
             return []
-        key = (src, dst)
-        cached = self._route_cache.get(key)
+        cached = self._route_cache.get((src, dst))
         if cached is not None:
             return cached
         if src not in self._hosts or dst not in self._hosts:
             raise NetworkError(f"unknown endpoint in route {src!r} -> {dst!r}")
-        # Dijkstra by cumulative latency.
+        self._expand_source(src)
+        cached = self._route_cache.get((src, dst))
+        if cached is None:
+            raise NetworkError(f"no route from {src!r} to {dst!r}")
+        return cached
+
+    def _expand_source(self, src: str) -> None:
+        """Dijkstra from ``src`` (by cumulative latency) over the whole
+        component; fills the route cache for every reachable target."""
         dist: Dict[str, float] = {src: 0.0}
         prev: Dict[str, Tuple[str, Link]] = {}
         heap: List[Tuple[float, str]] = [(0.0, src)]
@@ -157,27 +177,60 @@ class Network:
             if node in visited:
                 continue
             visited.add(node)
-            if node == dst:
-                break
             for neigh, link in self._adj[node]:
                 nd = d + link.latency
                 if nd < dist.get(neigh, math.inf):
                     dist[neigh] = nd
                     prev[neigh] = (node, link)
                     heapq.heappush(heap, (nd, neigh))
-        if dst not in prev and dst != src:
-            raise NetworkError(f"no route from {src!r} to {dst!r}")
-        path: List[Link] = []
-        node = dst
-        while node != src:
-            pnode, link = prev[node]
-            path.append(link)
-            node = pnode
-        path.reverse()
-        self._route_cache[key] = path
-        # Symmetric topology: cache the reverse too.
-        self._route_cache[(dst, src)] = list(reversed(path))
-        return path
+        cache = self._route_cache
+        for node in visited:
+            if node == src or (src, node) in cache:
+                continue
+            path: List[Link] = []
+            cur = node
+            while cur != src:
+                pnode, link = prev[cur]
+                path.append(link)
+                cur = pnode
+            path.reverse()
+            cache[(src, node)] = path
+            # Symmetric topology: cache the reverse too (first write wins,
+            # matching the pre-existing pairwise behaviour on latency ties).
+            cache.setdefault((node, src), list(reversed(path)))
+
+    def precompute_routes(self) -> int:
+        """Warm the route cache for every host pair; returns #cached routes.
+
+        Deployments with a static topology call this once so no simulation
+        process ever pays a Dijkstra mid-run.
+        """
+        for name in self._hosts:
+            self._expand_source(name)
+        return len(self._route_cache)
+
+    def _route_metrics(self, src: str, dst: str) -> Tuple[float, float, Tuple[Link, ...]]:
+        """Cached ``(latency_sum, bottleneck_bw, shared_links)`` per pair.
+
+        ``shared_links`` is deduped and sorted by ``Link._uid`` — the global
+        lock order :meth:`transfer` acquires slots in.  ``bottleneck_bw`` is
+        0.0 for the empty self-route.
+        """
+        info = self._route_info.get((src, dst))
+        if info is None:
+            links = self.route(src, dst)
+            if links:
+                shared: Dict[int, Link] = {}
+                for link in links:
+                    if link._slot is not None:
+                        shared[link._uid] = link
+                info = (sum(l.latency for l in links),
+                        min(l.bandwidth for l in links),
+                        tuple(shared[uid] for uid in sorted(shared)))
+            else:
+                info = (0.0, 0.0, ())
+            self._route_info[(src, dst)] = info
+        return info
 
     def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
         """Analytic transfer duration (ignores link sharing queues).
@@ -193,11 +246,9 @@ class Network:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        links = self.route(src, dst)
-        if not links:
+        latency, bottleneck, _ = self._route_metrics(src, dst)
+        if bottleneck == 0.0:  # empty self-route
             return 0.0
-        latency = sum(l.latency for l in links)
-        bottleneck = min(l.bandwidth for l in links)
         return latency + nbytes / bottleneck
 
     def transfer(self, src: str, dst: str, nbytes: int) -> Generator[Event, Any, float]:
@@ -215,21 +266,20 @@ class Network:
         contended — see the contract there).
         """
         start = self.engine.now
-        links = self.route(src, dst)
-        if not links:
+        latency, bottleneck, shared = self._route_metrics(src, dst)
+        if bottleneck == 0.0:  # empty self-route
             return 0.0
+        if not shared:
+            # Fast path: no shared link on the route, so the duration is the
+            # analytic one — a single timeout, no slot bookkeeping.
+            yield self.engine.timeout(latency + nbytes / bottleneck)
+            return self.engine.now - start
         claims = []
         try:
-            seen = set()
-            for link in sorted((l for l in links if l._slot is not None),
-                               key=lambda l: l._uid):
-                if link._uid in seen:
-                    continue
-                seen.add(link._uid)
+            for link in shared:
                 req = yield from link._slot.acquire()
                 claims.append((link, req))
-            yield self.engine.timeout(
-                sum(l.latency for l in links) + nbytes / min(l.bandwidth for l in links))
+            yield self.engine.timeout(latency + nbytes / bottleneck)
         finally:
             for link, req in claims:
                 link._slot.release(req)

@@ -1,0 +1,52 @@
+"""The optimized kernel must replay the recorded event streams exactly.
+
+PR 3 rebuilt the kernel hot path (Timeout fast-path, inlined dispatch,
+pre-bound interceptor chains, route precompute, buffered trace stamps).
+None of that is allowed to change *what happens*: these tests re-run the
+seeded 100-zoom campaign and the E11 degraded campaign with
+:attr:`Engine.event_log` enabled and diff the full dispatch stream —
+``(time, priority, seq, kind, name)`` per event — against references
+recorded before the optimizations (see ``kernel_reference.py``).
+
+A mismatch prints the first diverging record, which is usually enough to
+identify the fast path that changed scheduling order.
+"""
+
+import json
+
+import pytest
+
+from . import kernel_reference as ref
+
+
+def _check(slug: str) -> None:
+    with open(ref.reference_path(slug)) as fh:
+        expected = json.load(fh)
+    stream, final_time = ref.capture_stream(**ref.WORKLOADS[slug])
+    got = ref.digest(stream, final_time)
+    assert got["n_events"] == expected["n_events"], (
+        f"event count changed: {got['n_events']} != {expected['n_events']}")
+    assert got["final_time"] == expected["final_time"], (
+        f"final simulated time changed: {got['final_time']} != "
+        f"{expected['final_time']}")
+    if got["sha256"] != expected["sha256"]:
+        # Locate the divergence for a useful failure message.
+        for i, line in enumerate(expected["head"]):
+            have = ref.record_line(stream[i]) if i < len(stream) else "<none>"
+            assert have == line, f"stream diverges at event {i}: {have} != {line}"
+        for i, line in enumerate(expected["tail"]):
+            j = expected["n_events"] - len(expected["tail"]) + i
+            have = ref.record_line(stream[j]) if j < len(stream) else "<none>"
+            assert have == line, f"stream diverges at event {j}: {have} != {line}"
+        pytest.fail("event stream digest changed (head/tail match: the "
+                    "divergence is in the middle of the stream)")
+
+
+def test_campaign_event_stream_is_bit_identical():
+    """Seeded 100-zoom campaign: same total order as the recorded kernel."""
+    _check("campaign")
+
+
+def test_degraded_campaign_event_stream_is_bit_identical():
+    """E11 (2 crashes): failure/recovery machinery replays exactly too."""
+    _check("degraded")

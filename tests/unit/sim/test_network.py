@@ -122,6 +122,80 @@ class TestRouting:
         assert [l.name for l in back] == [l.name for l in reversed(fwd)]
 
 
+class TestRouteCache:
+    """The all-pairs expansion behind route() and the derived metrics."""
+
+    def test_expansion_fills_whole_component(self, engine):
+        net = star(engine, n_leaves=3)
+        net.route("leaf0", "leaf1")
+        # One miss ran a full Dijkstra from leaf0: every pair touching
+        # leaf0 is now cached, including the symmetric reverses.
+        for other in ("hub", "leaf1", "leaf2"):
+            assert ("leaf0", other) in net._route_cache
+            assert (other, "leaf0") in net._route_cache
+
+    def test_symmetric_entry_is_the_reverse_path(self, engine):
+        net = star(engine)
+        net.route("leaf0", "leaf1")
+        fwd = net._route_cache[("leaf0", "leaf1")]
+        back = net._route_cache[("leaf1", "leaf0")]
+        assert back == list(reversed(fwd))
+
+    def test_symmetric_entry_not_overwritten(self, engine):
+        # First write wins: a later expansion from the far end must not
+        # replace the reverse entry the first expansion seeded (on latency
+        # ties the two could legitimately pick different equal-cost paths,
+        # and swapping mid-run would change transfer event orderings).
+        net = star(engine)
+        net.route("leaf0", "leaf1")
+        seeded = net._route_cache[("leaf1", "leaf0")]
+        net.route("leaf1", "leaf2")   # expands from leaf1
+        assert net._route_cache[("leaf1", "leaf0")] is seeded
+
+    def test_precompute_routes_counts_all_pairs(self, engine):
+        net = star(engine, n_leaves=3)   # hub + 3 leaves = 4 hosts
+        n = net.precompute_routes()
+        assert n == 4 * 3                # every ordered pair, no self-routes
+        assert net.route("leaf2", "leaf1") is net._route_cache[("leaf2", "leaf1")]
+
+    def test_connect_invalidates_caches(self, engine):
+        net = star(engine)
+        assert net.transfer_time("leaf0", "leaf1", 1000) == pytest.approx(
+            0.02 + 1000 / 1e6)
+        assert net._route_info
+        # A new direct link makes the old cached route stale.
+        net.connect("leaf0", "leaf1", Link(engine, "direct", 0.001, 1e6))
+        assert not net._route_cache and not net._route_info
+        assert net.transfer_time("leaf0", "leaf1", 1000) == pytest.approx(
+            0.001 + 1000 / 1e6)
+
+    def test_route_metrics_match_route(self, engine):
+        net = star(engine, latency=0.01, bw=1e6)
+        latency, bottleneck, shared = net._route_metrics("leaf0", "leaf2")
+        route = net.route("leaf0", "leaf2")
+        assert latency == pytest.approx(sum(l.latency for l in route))
+        assert bottleneck == min(l.bandwidth for l in route)
+        assert shared == ()              # star links are not shared
+
+    def test_route_metrics_shared_links_in_lock_order(self, engine):
+        net = Network(engine)
+        for name in "abc":
+            net.add_host(Host(engine, name))
+        # Create the far link first so path order (ab, bc) differs from
+        # creation (= lock) order (bc, ab).
+        bc = Link(engine, "bc", 0.001, 1e6, shared=True)
+        ab = Link(engine, "ab", 0.001, 1e6, shared=True)
+        net.connect("b", "c", bc)
+        net.connect("a", "b", ab)
+        _, _, shared = net._route_metrics("a", "c")
+        assert [l.name for l in shared] == ["bc", "ab"]
+        assert [l._uid for l in shared] == sorted(l._uid for l in shared)
+
+    def test_self_route_metrics_sentinel(self, engine):
+        net = star(engine)
+        assert net._route_metrics("hub", "hub") == (0.0, 0.0, ())
+
+
 class TestTransfers:
     def test_latency_plus_bandwidth(self, engine):
         net = star(engine, latency=0.01, bw=1e6)
