@@ -69,27 +69,49 @@ def run_bench(name: str) -> dict:
     return doc
 
 
+def _delta_table(rows: list) -> str:
+    """Fixed-width per-shape delta table: one row per benchmark name."""
+    headers = ("benchmark", "baseline", "current", "ratio", "delta", "status")
+    cells = [headers]
+    for name, base_min, new_min, ratio, status in rows:
+        if base_min is None:
+            cells.append((name, "-", f"{new_min * 1e3:.2f}ms", "-", "-", status))
+        else:
+            cells.append((name, f"{base_min * 1e3:.2f}ms",
+                          f"{new_min * 1e3:.2f}ms", f"{ratio:.2f}x",
+                          f"{(ratio - 1.0) * 100.0:+.1f}%", status))
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
 def check_regression(doc: dict, baseline_path: Path, threshold: float) -> int:
     """Compare fresh min times to the baseline; return the exit code."""
     if not baseline_path.exists():
-        print(f"no baseline at {baseline_path}; skipping regression check")
+        print(f"no baseline at {baseline_path}; regression check skipped.")
+        print(f"to arm the gate: run `python benchmarks/export.py "
+              f"--bench {doc['meta']['bench']}` on a known-good commit "
+              f"and commit {baseline_path.name}")
         return 0
     baseline = json.loads(baseline_path.read_text())
     if baseline.get("meta", {}).get("quick") != doc["meta"]["quick"]:
         print("baseline and run disagree on quick mode; refusing to compare")
         return 1
+    rows = []
     failures = []
     for name, entry in doc["benchmarks"].items():
         base = baseline.get("benchmarks", {}).get(name)
         if base is None:
-            print(f"  {name}: not in baseline, skipped")
+            rows.append((name, None, entry["min"], None, "NEW (not in baseline)"))
             continue
         ratio = entry["min"] / base["min"]
         status = "OK" if ratio <= threshold else "REGRESSION"
-        print(f"  {name}: {entry['min'] * 1e3:.1f}ms vs baseline "
-              f"{base['min'] * 1e3:.1f}ms ({ratio:.2f}x) {status}")
+        rows.append((name, base["min"], entry["min"], ratio, status))
         if ratio > threshold:
             failures.append(name)
+    print(_delta_table(rows))
     if failures:
         print(f"FAILED: {len(failures)} benchmark(s) more than "
               f"{threshold:.1f}x slower than baseline: {', '.join(failures)}")

@@ -6,14 +6,23 @@ the benchmark suite drives, without pytest in the way.
     python -m repro list                 # what can I run?
     python -m repro timings              # E1, the §5.2 headline numbers
     python -m repro figure4              # E2/E3
-    python -m repro campaign --policy mct --n-sub 50
+    python -m repro figure4 --trace out.json --gantt-svg gantt.svg
+    python -m repro campaign --policy mct --n-sub 50 --profile
+
+Every campaign-backed experiment accepts the observability flags:
+``--trace PATH`` writes a Chrome-trace/Perfetto JSON of the span store,
+``--gantt-svg PATH`` renders the per-SeD solve timeline (Figure 4's chart)
+as a standalone SVG, and ``--profile`` prints a flat self-time report
+aggregated across every campaign the experiment ran — including campaigns
+computed in parallel worker processes (their span stores travel home inside
+the detached results).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .experiments import (
     ablation_scheduler,
@@ -28,40 +37,123 @@ from .experiments import (
     table_timings,
 )
 
+#: name -> (description, run(args) -> result, render(result) -> str).
 #: Runners take the parsed args namespace; the sweep experiments read
 #: ``args.jobs`` (see ``repro.experiments.runner``), the rest ignore it.
-_EXPERIMENTS: Dict[str, Tuple[str, Callable[..., str]]] = {
+#: Keeping run and render separate lets :func:`main` hold on to the result
+#: object for the observability exports after printing the report.
+_EXPERIMENTS: Dict[str, Tuple[str, Callable[..., Any], Callable[[Any], str]]] = {
     "architecture": ("Figure 1: the deployed DIET hierarchy",
-                     lambda args: figure1_architecture.render(
-                         figure1_architecture.run())),
+                     lambda args: figure1_architecture.run(),
+                     figure1_architecture.render),
     "timings": ("E1: §5.2 campaign timings vs the paper",
-                lambda args: table_timings.render(table_timings.run())),
+                lambda args: table_timings.run(), table_timings.render),
     "figure4": ("E2/E3: request distribution + per-SeD execution time",
-                lambda args: figure4.render(figure4.run())),
+                lambda args: figure4.run(), figure4.render),
     "figure5": ("E4/E5: finding time + latency",
-                lambda args: figure5.render(figure5.run())),
+                lambda args: figure5.run(), figure5.render),
     "overhead": ("E6: middleware overhead",
-                 lambda args: overhead.render(overhead.run())),
+                 lambda args: overhead.run(), overhead.render),
     "ablation": ("E7: plug-in scheduler ablation",
-                 lambda args: ablation_scheduler.render(
-                     ablation_scheduler.run(jobs=args.jobs))),
+                 lambda args: ablation_scheduler.run(jobs=args.jobs),
+                 ablation_scheduler.render),
     "figure2": ("E8: projected density through cosmic time (real run)",
-                lambda args: figure2_density.render(figure2_density.run())),
+                lambda args: figure2_density.run(), figure2_density.render),
     "figure3": ("E9: zoom re-simulation of a halo (real run)",
-                lambda args: figure3_zoom.render(figure3_zoom.run())),
+                lambda args: figure3_zoom.run(), figure3_zoom.render),
     "scaling": ("E10: nodes-per-SeD scaling ablation",
-                lambda args: scaling_nodes.render(
-                    scaling_nodes.run(jobs=args.jobs))),
+                lambda args: scaling_nodes.run(jobs=args.jobs),
+                scaling_nodes.render),
     "degraded": ("E11: the campaign under injected SeD failures",
-                 lambda args: degraded_campaign.render(
-                     degraded_campaign.run(jobs=args.jobs))),
+                 lambda args: degraded_campaign.run(jobs=args.jobs),
+                 degraded_campaign.render),
 }
 
 #: Experiments that sweep independent runs and accept ``--jobs``.
 _PARALLEL = ("ablation", "scaling", "degraded")
 
 
-def _run_campaign(args) -> str:
+def _campaigns_of(result: Any) -> List[Any]:
+    """Every campaign result reachable from an experiment result.
+
+    Walks the known wrapper shapes — ``.campaign`` (figure4/figure5/
+    overhead/timings), ``.campaigns`` dict (ablation), ``.baseline`` +
+    ``.runs[].result`` (degraded) — plus bare campaign results, so the
+    observability exports work uniformly across every subcommand.
+    """
+    found: List[Any] = []
+
+    def visit(obj: Any) -> None:
+        if obj is None:
+            return
+        if hasattr(obj, "span_store"):  # a CampaignResult (live or detached)
+            found.append(obj)
+            return
+        for attr in ("campaign", "baseline"):
+            visit(getattr(obj, attr, None))
+        campaigns = getattr(obj, "campaigns", None)
+        if isinstance(campaigns, dict):
+            for sub in campaigns.values():
+                visit(sub)
+        runs = getattr(obj, "runs", None)
+        if isinstance(runs, (list, tuple)):
+            for run in runs:
+                visit(getattr(run, "result", run))
+
+    visit(result)
+    return found
+
+
+def _export_observability(args, result: Any) -> List[str]:
+    """Handle ``--trace`` / ``--gantt-svg`` / ``--profile``; returns the
+    status lines to print after the experiment report."""
+    want_trace = getattr(args, "trace", None)
+    want_gantt = getattr(args, "gantt_svg", None)
+    want_profile = getattr(args, "profile", False)
+    if not (want_trace or want_gantt or want_profile):
+        return []
+
+    from .experiments.runner import collect_span_stores
+    from .obs import profile_report, svg_gantt, write_chrome_trace
+
+    campaigns = _campaigns_of(result)
+    stores = collect_span_stores(campaigns)
+    if not stores:
+        return ["observability: no span stores recorded "
+                "(campaign ran with observe=False?)"]
+
+    lines: List[str] = []
+    if want_trace:
+        if len(stores) == 1:
+            merged = stores[0]
+        else:
+            # Multi-campaign sweeps share track names (req:1 exists in every
+            # campaign); a merged store is still a valid Chrome trace — the
+            # viewer groups by thread name, and all spans are closed.
+            from .obs import SpanStore
+            merged = SpanStore()
+            for store in stores:
+                merged.spans.extend(store.spans)
+                merged.marks.extend(store.marks)
+        write_chrome_trace(merged, want_trace)
+        n = sum(len(s.spans) for s in stores)
+        lines.append(f"trace: {n} spans from {len(stores)} campaign(s) "
+                     f"written to {want_trace}")
+    if want_gantt:
+        chart = stores[0].gantt(category="solve", group_by="sed")
+        with open(want_gantt, "w", encoding="utf-8") as fh:
+            fh.write(svg_gantt(chart))
+        lines.append(f"gantt: {sum(len(v) for v in chart.values())} solves "
+                     f"across {len(chart)} SeDs written to {want_gantt}")
+    if want_profile:
+        lines.append("")
+        lines.append(profile_report(
+            stores, title=f"profile: {args.command} "
+                          f"({len(stores)} campaign(s))"))
+    return lines
+
+
+def _run_campaign(args) -> Tuple[str, Any]:
     from .experiments.report import hms
     from .services import CampaignConfig, run_campaign
 
@@ -82,7 +174,17 @@ def _run_campaign(args) -> str:
     if args.trace_csv:
         result.tracer.write_csv(args.trace_csv)
         lines.append(f"  trace written to {args.trace_csv}")
-    return "\n".join(lines)
+    return "\n".join(lines), result
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write the span store as Chrome-trace/Perfetto JSON")
+    p.add_argument("--gantt-svg", metavar="PATH", default=None,
+                   help="render the per-SeD solve timeline as an SVG")
+    p.add_argument("--profile", action="store_true",
+                   help="print a flat self-time profile aggregated over "
+                        "all campaigns (including parallel workers)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,13 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("list", help="list available experiments")
-    for name, (desc, _) in _EXPERIMENTS.items():
+    for name, (desc, _, _) in _EXPERIMENTS.items():
         p = sub.add_parser(name, help=desc)
         if name in _PARALLEL:
             p.add_argument(
                 "--jobs", "-j", type=int, default=None,
                 help="worker processes for the sweep (default: serial; "
                      "0 = one per CPU core)")
+        _add_obs_flags(p)
 
     campaign = sub.add_parser("campaign",
                               help="run a custom campaign configuration")
@@ -111,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=2007)
     campaign.add_argument("--trace-csv", default=None,
                           help="dump the request trace table as CSV")
+    _add_obs_flags(campaign)
     return parser
 
 
@@ -120,16 +224,20 @@ def main(argv: Optional[list] = None) -> int:
     if args.command in (None, "list"):
         print("available experiments:")
         width = max(len(n) for n in _EXPERIMENTS) + 2
-        for name, (desc, _) in _EXPERIMENTS.items():
+        for name, (desc, _, _) in _EXPERIMENTS.items():
             print(f"  {name.ljust(width)} {desc}")
         print(f"  {'campaign'.ljust(width)} custom campaign "
               "(--n-sub, --policy, --seed, --trace-csv)")
         return 0
     if args.command == "campaign":
-        print(_run_campaign(args))
-        return 0
-    _desc, runner = _EXPERIMENTS[args.command]
-    print(runner(args))
+        text, result = _run_campaign(args)
+        print(text)
+    else:
+        _desc, run, render = _EXPERIMENTS[args.command]
+        result = run(args)
+        print(render(result))
+    for line in _export_observability(args, result):
+        print(line)
     return 0
 
 

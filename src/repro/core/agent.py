@@ -71,13 +71,17 @@ class LocalAgent:
 
     def __init__(self, fabric: TransportFabric, host: Host, name: str,
                  parent: Optional[str] = None,
-                 params: Optional[AgentParams] = None):
+                 params: Optional[AgentParams] = None,
+                 tracer: Optional[Tracer] = None):
         self.fabric = fabric
         self.engine: Engine = fabric.engine
         self.host = host
         self.name = name
         self.parent = parent
         self.params = params or AgentParams()
+        #: Shared deployment tracer; liveness marks and scheduler metrics
+        #: reach the observability hub through ``tracer.obs``.
+        self.tracer = tracer or Tracer()
         self.children: List[str] = []
         self.endpoint: Endpoint = fabric.endpoint(name, host.name)
         #: Child fan-out timeout/retry, shared with every other RPC deadline
@@ -208,11 +212,11 @@ class MasterAgent(LocalAgent):
                  params: Optional[AgentParams] = None,
                  tracer: Optional[Tracer] = None,
                  log_central: Optional[str] = None):
-        super().__init__(fabric, host, name, parent=None, params=params)
+        super().__init__(fabric, host, name, parent=None, params=params,
+                         tracer=tracer)
         self.log_central = log_central
         self.policy = policy or DefaultPolicy()
         self.ctx = SchedulingContext()
-        self.tracer = tracer or Tracer()
         #: One call site for monitoring: journals to the tracer and posts
         #: the same event to LogCentral (when deployed).
         self.tracing = self.endpoint.pipeline.add(
@@ -224,6 +228,15 @@ class MasterAgent(LocalAgent):
         sub: SubmitRequest = msg.payload
         req = EstimateRequest(sub.request_id, sub.service_desc,
                               sub.client_host, sub.request_nbytes)
+        obs = self.tracer.obs
+        span = None
+        if obs.enabled:
+            # Nested inside the client's open "finding" span on the same
+            # request track: scheduling is the agent-side share of finding.
+            span = obs.spans.begin(
+                f"req:{sub.request_id}", "schedule", self.engine.now,
+                "schedule", request_id=sub.request_id, agent=self.name,
+                service=sub.service_desc.path)
         candidates = yield from self._gather(req)
         if not candidates:
             raise ServerNotFoundError(
@@ -234,6 +247,12 @@ class MasterAgent(LocalAgent):
         chosen = self.policy.choose(candidates, self.ctx)
         assert chosen is not None
         self.ctx.note_dispatch(chosen.sed_name)
+        if span is not None:
+            now = self.engine.now
+            obs.spans.end(span, now, sed=chosen.sed_name,
+                          n_candidates=len(candidates))
+            obs.metrics.counter("scheduler.dispatches",
+                                sed=chosen.sed_name).inc(1, now)
         self.tracing.emit(self.endpoint, "schedule",
                           request_id=sub.request_id, sed=chosen.sed_name,
                           service=sub.service_desc.path,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import Observability
 from ..platform.grid5000 import Grid5000Platform
 from ..sim.engine import Engine
 from .agent import AgentParams, LocalAgent, MasterAgent
@@ -63,6 +64,11 @@ class Deployment:
         sed = self.sed_by_name(sed_name)
         return str(sed.host.properties.get("cluster", sed.host.name))
 
+    @property
+    def obs(self) -> Observability:
+        """The deployment-wide observability hub (NULL_OBS when disabled)."""
+        return self.tracer.obs
+
 
 def deploy_paper_hierarchy(platform: Grid5000Platform,
                            policy: Optional[SchedulerPolicy] = None,
@@ -70,7 +76,8 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                            sed_params: Optional[SeDParams] = None,
                            agent_params: Optional[AgentParams] = None,
                            with_client: bool = True,
-                           with_log_central: bool = False) -> Deployment:
+                           with_log_central: bool = False,
+                           obs: Optional[Observability] = None) -> Deployment:
     """Deploy the exact §5.1 hierarchy on a built Grid'5000 platform.
 
     * MA on the Lyon service node (with the client and, when
@@ -82,7 +89,9 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
     """
     engine = platform.engine
     fabric = TransportFabric(engine, platform.network, transport_params)
-    tracer = Tracer()
+    tracer = Tracer(obs)
+    # The engine reads obs directly (run-level spans, transfer metrics).
+    engine.obs = tracer.obs
 
     log_central = None
     log_name: Optional[str] = None
@@ -100,7 +109,7 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
     seds: List[SeD] = []
     for full_name, cluster in platform.clusters.items():
         la = LocalAgent(fabric, cluster.frontend, name=f"LA-{full_name}",
-                        parent=ma.name, params=agent_params)
+                        parent=ma.name, params=agent_params, tracer=tracer)
         ma.add_child(la.name)
         local_agents.append(la)
         for host in cluster.sed_hosts:

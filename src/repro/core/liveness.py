@@ -78,7 +78,14 @@ class HeartbeatMonitor:
         """A child (re-)registered: clear its miss count, log the recovery."""
         self._misses.pop(child, None)
         if rejoined:
-            self.recoveries.append((child, self.agent.engine.now))
+            now = self.agent.engine.now
+            self.recoveries.append((child, now))
+            obs = self.agent.tracer.obs
+            if obs.enabled:
+                obs.spans.mark(f"agent:{self.agent.name}", "re-register",
+                               now, child=child)
+                obs.metrics.counter("liveness.recoveries",
+                                    agent=self.agent.name).inc(1, now)
 
     # -- the protocol ---------------------------------------------------------
 
@@ -112,6 +119,14 @@ class HeartbeatMonitor:
             if misses >= self.config.miss_threshold:
                 self._misses.pop(child, None)
                 if self.agent.remove_child(child):
-                    self.deaths.append((child, self.agent.engine.now))
+                    now = self.agent.engine.now
+                    self.deaths.append((child, now))
+                    obs = self.agent.tracer.obs
+                    if obs.enabled:
+                        obs.spans.mark(f"agent:{self.agent.name}",
+                                       "deregister", now, child=child)
+                        obs.metrics.counter(
+                            "liveness.deregistrations",
+                            agent=self.agent.name).inc(1, now)
             return
         self._misses.pop(child, None)

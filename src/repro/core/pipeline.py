@@ -397,6 +397,15 @@ class TracingInterceptor(Interceptor):
 
     None of the hooks charge simulated time, so tracing never perturbs the
     calibrated control path (a LogService test asserts this).
+
+    When the shared tracer carries an enabled
+    :class:`~repro.obs.Observability`, the same call sites also emit the
+    request-track **spans** (``request`` → ``finding`` / ``transfer`` /
+    ``queue``) the exporters and figure queries consume — begun and closed
+    with the *same* ``engine.now`` reads that stamp the trace fields, and
+    unwound with status ``"error"`` when a submit/solve RPC completes with
+    an error reply (the dead-letter path), so failures never leak open
+    spans.  Span recording is pure bookkeeping: no events, no time.
     """
 
     #: ops whose request/reply legs carry client-lifecycle stamps
@@ -422,8 +431,25 @@ class TracingInterceptor(Interceptor):
             now = ctx.engine.now
             if ctx.op == self.SUBMIT_OP:
                 self.tracer.trace(rid, ctx.service).submitted_at = now
+                obs = self.tracer.obs
+                if obs.enabled:
+                    track = f"req:{rid}"
+                    spans = obs.spans
+                    if spans.open_spans(track):
+                        # RPC-layer retry re-sending the same request id:
+                        # the previous attempt's spans are dead weight.
+                        spans.unwind(track, now, "interrupted")
+                    spans.begin(track, "request", now, "request",
+                                request_id=rid, service=ctx.service)
+                    spans.begin(track, "finding", now, "finding",
+                                request_id=rid, service=ctx.service)
             elif ctx.op == self.SOLVE_OP:
                 self.tracer.trace(rid, ctx.service).data_sent_at = now
+                obs = self.tracer.obs
+                if obs.enabled:
+                    obs.spans.begin(f"req:{rid}", "transfer", now, "transfer",
+                                    request_id=rid, service=ctx.service,
+                                    nbytes=ctx.nbytes)
         return
         yield  # pragma: no cover - generator marker
 
@@ -433,6 +459,15 @@ class TracingInterceptor(Interceptor):
             now = ctx.engine.now
             trace = self.tracer.trace(rid, ctx.service)
             trace.data_arrived_at = now
+            obs = self.tracer.obs
+            if obs.enabled:
+                track = f"req:{rid}"
+                spans = obs.spans
+                transfer = spans.open_span(track, "transfer")
+                if transfer is not None:
+                    spans.end(transfer, now)
+                spans.begin(track, "queue", now, "queue", request_id=rid,
+                            service=ctx.service, sed=ctx.endpoint.name)
             self.tracer.log(now, "data-arrived",
                             sed=ctx.endpoint.name, request_id=rid)
         return
@@ -440,7 +475,17 @@ class TracingInterceptor(Interceptor):
 
     def intercept_complete(self, ctx: MessageContext) -> Generator[Event, Any, None]:
         rid = ctx.request_id
-        if rid is None or ctx.reply_status != "ok":
+        if rid is None:
+            return
+        if ctx.reply_status != "ok":
+            # Submit/solve RPC failed (dead letter, crashed SeD, no server
+            # found): unwind the whole request track so the failure path
+            # leaves no open spans.  Other ops (estimate fan-out legs) fail
+            # without killing the request.
+            if ctx.op in (self.SUBMIT_OP, self.SOLVE_OP):
+                obs = self.tracer.obs
+                if obs.enabled:
+                    obs.spans.unwind(f"req:{rid}", ctx.engine.now, "error")
             return
         now = ctx.engine.now
         if ctx.op == self.SUBMIT_OP:
@@ -448,6 +493,15 @@ class TracingInterceptor(Interceptor):
             trace.found_at = now
             if isinstance(ctx.reply_value, tuple) and ctx.reply_value:
                 trace.sed_name = ctx.reply_value[0]
+            obs = self.tracer.obs
+            if obs.enabled:
+                finding = obs.spans.open_span(f"req:{rid}", "finding")
+                if finding is not None:
+                    obs.spans.end(finding, now, sed=trace.sed_name)
+                    if finding.duration is not None:
+                        obs.metrics.histogram(
+                            "request.finding_seconds").observe(
+                                finding.duration, now)
         elif ctx.op == self.SOLVE_OP:
             trace = self.tracer.trace(rid, ctx.service)
             trace.completed_at = now
@@ -460,6 +514,11 @@ class TracingInterceptor(Interceptor):
                 trace.solve_started_at = getattr(reply, "solve_started_at", None)
             if trace.solve_ended_at is None:
                 trace.solve_ended_at = getattr(reply, "solve_ended_at", None)
+            obs = self.tracer.obs
+            if obs.enabled:
+                request = obs.spans.open_span(f"req:{rid}", "request")
+                if request is not None:
+                    obs.spans.end(request, now, status_code=trace.status)
         return
         yield  # pragma: no cover - generator marker
 

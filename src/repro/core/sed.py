@@ -143,6 +143,11 @@ class SeD:
         """Running + queued solves (the EST_NBJOBS probe)."""
         return self.job_slots.count + self.job_slots.queue_length
 
+    @property
+    def cluster(self) -> str:
+        """Cluster this SeD's host belongs to (metric/span label)."""
+        return str(self.host.properties.get("cluster", self.host.name))
+
     # -- crash / restart (failure model) -------------------------------------------
 
     @property
@@ -163,6 +168,17 @@ class SeD:
             raise DietError(f"SeD {self.name!r} is already down")
         self._crashed = True
         self.crash_count += 1
+        obs = self.tracer.obs
+        if obs.enabled:
+            now = self.engine.now
+            obs.spans.mark(f"sed:{self.name}", "crash", now, sed=self.name)
+            obs.metrics.counter("sed.crashes", sed=self.name).inc(1, now)
+            # Abort every span this SeD's serving loop had open (queued and
+            # in-flight solves), innermost first so statuses stay "aborted"
+            # rather than cascaded "interrupted".
+            for span in reversed(obs.spans.open_spans()):
+                if span.attrs.get("sed") == self.name:
+                    obs.spans.end(span, now, "aborted")
         self.fabric.unbind(self.name)
         self.data_store.clear()
 
@@ -178,6 +194,11 @@ class SeD:
         if not self._crashed:
             raise DietError(f"SeD {self.name!r} is not down")
         self._crashed = False
+        obs = self.tracer.obs
+        if obs.enabled:
+            now = self.engine.now
+            obs.spans.mark(f"sed:{self.name}", "restart", now, sed=self.name)
+            obs.metrics.counter("sed.restarts", sed=self.name).inc(1, now)
         self.endpoint = self.fabric.endpoint(self.name, self.host.name)
         self.tracing = self.endpoint.pipeline.add(
             TracingInterceptor(self.tracer, self.log_central))
@@ -289,14 +310,32 @@ class SeD:
                                sed_name=self.name,
                                error=f"DataError: {exc}"), 256)
 
+        obs = self.tracer.obs
+        track = f"req:{req.request_id}"
         slot = yield from self.job_slots.acquire()
         try:
             # Slot granted: the queue wait is over, initiation begins.
             trace.init_started_at = self.engine.now
+            init_span = solve_span = None
+            if obs.enabled:
+                spans = obs.spans
+                queue_span = spans.open_span(track, "queue")
+                if queue_span is not None:
+                    spans.end(queue_span, trace.init_started_at)
+                init_span = spans.begin(
+                    track, "init", trace.init_started_at, "init",
+                    request_id=req.request_id, service=profile.path,
+                    sed=self.name)
             # Service initiation: fork of the solve function, MPI env setup.
             yield self.engine.timeout(self.params.service_init_time)
             started = self.engine.now
             trace.solve_started_at = started
+            if init_span is not None:
+                obs.spans.end(init_span, started)
+                solve_span = obs.spans.begin(
+                    track, "solve", started, "solve",
+                    request_id=req.request_id, service=profile.path,
+                    sed=self.name, cluster=self.cluster)
             self.tracing.emit(self.endpoint, "solve_start",
                               request_id=req.request_id, service=profile.path)
             desc, solve_func = self.table.lookup(profile.path)
@@ -320,6 +359,11 @@ class SeD:
                 status, error = 1, f"{type(exc).__name__}: {exc}"
             ended = self.engine.now
             trace.solve_ended_at = ended
+            if solve_span is not None:
+                obs.spans.end(solve_span, ended, status_code=status)
+                obs.metrics.histogram("sed.solve_seconds", sed=self.name,
+                                      cluster=self.cluster).observe(
+                                          ended - started, ended)
         finally:
             self.job_slots.release(slot)
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import NULL_OBS, Observability
+
 __all__ = ["RequestTrace", "Tracer"]
 
 
@@ -107,7 +109,12 @@ class RequestTrace:
 class Tracer:
     """Collects :class:`RequestTrace` records plus free-form middleware events."""
 
-    def __init__(self):
+    def __init__(self, obs: Optional[Observability] = None):
+        #: The deployment-wide observability hub; components that hold the
+        #: shared tracer reach spans/metrics as ``tracer.obs``.  Defaults to
+        #: the permanently-disabled :data:`~repro.obs.NULL_OBS` singleton,
+        #: so a bare ``Tracer()`` records exactly what it always did.
+        self.obs: Observability = obs if obs is not None else NULL_OBS
         self._traces: Dict[int, RequestTrace] = {}
         #: Records in creation order — the append-only buffer report-time
         #: aggregation works from (the dict above is just the id index).

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Task", "WorkerCrash", "WorkerError", "canonical_pickle",
-           "derive_seed", "resolve_jobs", "run_tasks"]
+           "collect_span_stores", "derive_seed", "resolve_jobs", "run_tasks"]
 
 
 def canonical_pickle(obj: Any) -> bytes:
@@ -106,6 +106,29 @@ def derive_seed(base: int, index: int) -> int:
     """
     digest = hashlib.sha256(f"{base}:{index}".encode()).digest()
     return int.from_bytes(digest[:8], "big") % (2 ** 63)
+
+
+def collect_span_stores(results: Sequence[Any]) -> List[Any]:
+    """Span stores of many (possibly detached) campaign results, in order.
+
+    The cross-worker aggregation half of ``--profile``: detached results
+    carry their :class:`~repro.obs.Observability` home inside the pickled
+    tracer, so a parallel sweep's worth of span stores can be fed to
+    :func:`repro.obs.profile_report` exactly like a serial run's.  Results
+    without an enabled, non-empty store are skipped.
+    """
+    stores: List[Any] = []
+    for result in results:
+        if result is None:
+            continue
+        tracer = getattr(result, "tracer", None)
+        if tracer is None:
+            tracer = getattr(getattr(result, "deployment", None), "tracer",
+                             None)
+        obs = getattr(tracer, "obs", None)
+        if obs is not None and obs.enabled and obs.spans.spans:
+            stores.append(obs.spans)
+    return stores
 
 
 def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:

@@ -1,0 +1,234 @@
+"""Metrics registry: counters, gauges and histograms over simulated time.
+
+Replaces the ad-hoc tallies that used to be summed out of trace buffers at
+report time: components register named instruments once (labelled per SeD /
+per cluster / per op) and record into them as the campaign runs.  Every
+sample can carry its simulated timestamp, so any instrument supports
+**windowing** — "solves finished between t0 and t1", "bytes on the wire
+during the zoom phase" — which is what per-node utilization accounting
+(the follow-up paper's Figure-4-style analysis) needs.
+
+Instruments are plain Python objects (picklable, no engine reference): a
+registry rides inside detached campaign results across process boundaries,
+and merging worker registries is just re-recording their samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count; timestamped increments optional."""
+
+    __slots__ = ("name", "labels", "value", "samples")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        #: ``(t, delta)`` pairs for increments that carried a timestamp.
+        self.samples: List[Tuple[float, float]] = []
+
+    def inc(self, n: float = 1.0, t: Optional[float] = None) -> None:
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+        if t is not None:
+            self.samples.append((t, n))
+
+    def window(self, t0: float, t1: float) -> float:
+        """Sum of timestamped increments with ``t0 <= t < t1``."""
+        return sum(n for t, n in self.samples if t0 <= t < t1)
+
+    def summary(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins value with a timestamped history."""
+
+    __slots__ = ("name", "labels", "value", "samples")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value: Optional[float] = None
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, value: float, t: Optional[float] = None) -> None:
+        self.value = value
+        if t is not None:
+            self.samples.append((t, value))
+
+    def at(self, t: float) -> Optional[float]:
+        """Value in force at simulated time ``t`` (last set at or before)."""
+        out = None
+        for ts, v in self.samples:
+            if ts <= t:
+                out = v
+            else:
+                break
+        return out
+
+    def time_weighted_mean(self, t0: float, t1: float) -> Optional[float]:
+        """Mean over ``[t0, t1]`` weighting each value by how long it held."""
+        if t1 <= t0:
+            raise ValueError("window must be non-empty")
+        points = [(max(ts, t0), v) for ts, v in self.samples if ts < t1]
+        start_value = self.at(t0)
+        if start_value is not None and (not points or points[0][0] > t0):
+            points.insert(0, (t0, start_value))
+        points = [(ts, v) for ts, v in points if ts >= t0]
+        if not points:
+            return None
+        total = 0.0
+        for i, (ts, v) in enumerate(points):
+            t_next = points[i + 1][0] if i + 1 < len(points) else t1
+            total += v * (t_next - ts)
+        return total / (t1 - points[0][0])
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Distribution of timestamped observations."""
+
+    __slots__ = ("name", "labels", "samples")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        #: ``(t, value)`` pairs in observation order.
+        self.samples: List[Tuple[float, float]] = []
+
+    def observe(self, value: float, t: float) -> None:
+        self.samples.append((t, value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return sum(v for _t, v in self.samples)
+
+    @property
+    def mean(self) -> Optional[float]:
+        if not self.samples:
+            return None
+        return self.sum / len(self.samples)
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.samples]
+
+    def window(self, t0: float, t1: float) -> List[float]:
+        """Observations recorded at ``t0 <= t < t1``."""
+        return [v for t, v in self.samples if t0 <= t < t1]
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not self.samples:
+            return None
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(v for _t, v in self.samples)
+        rank = max(math.ceil(q / 100.0 * len(ordered)), 1)
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instruments keyed by ``(name, labels)``."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._instruments: Dict[Tuple[str, str, LabelKey], Any] = {}
+
+    def _get(self, kind: str, name: str, labels: Dict[str, Any]) -> Any:
+        key = (kind, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = self._KINDS[kind](name, key[2])
+            self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def collect(
+        self,
+        name: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> Iterator[Any]:
+        """Instruments matching the filters, in registration order."""
+        for (k, n, _labels), inst in self._instruments.items():
+            if name is not None and n != name:
+                continue
+            if kind is not None and k != kind:
+                continue
+            yield inst
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one (cross-worker
+        aggregation): counters add, gauges keep the later history, histograms
+        concatenate samples."""
+        for (kind, name, labels), inst in other._instruments.items():
+            labels_dict = dict(labels)
+            if kind == "counter":
+                mine = self.counter(name, **labels_dict)
+                mine.value += inst.value
+                mine.samples.extend(inst.samples)
+            elif kind == "gauge":
+                mine = self.gauge(name, **labels_dict)
+                mine.samples.extend(inst.samples)
+                if inst.value is not None:
+                    mine.value = inst.value
+            else:
+                mine = self.histogram(name, **labels_dict)
+                mine.samples.extend(inst.samples)
+
+    def render(self) -> str:
+        """Text exposition, one instrument per line (stable order)."""
+        lines = []
+        for (kind, name, labels), inst in sorted(
+            self._instruments.items(),
+            key=lambda item: (item[0][1], item[0][0], item[0][2]),
+        ):
+            label_txt = ",".join(f'{k}="{v}"' for k, v in labels)
+            head = f"{name}{{{label_txt}}}" if label_txt else name
+            pairs = []
+            for k, v in inst.summary().items():
+                if v is None:
+                    continue
+                pairs.append(f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}")
+            lines.append(f"{head} [{kind}] {' '.join(pairs)}")
+        return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Flat/top profile over span self-times.
+
+``python -m repro <experiment> --profile`` feeds every span store a run
+produced (one per campaign; the parallel experiment runner yields one per
+worker task) into :func:`profile_report`: spans are grouped by
+``category:name``, their **self time** (duration minus direct children)
+summed, and the result printed as the classic flat profile — where did the
+simulated hours actually go, across all workers at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .spans import SpanStore
+
+__all__ = ["ProfileRow", "aggregate_self_times", "profile_report"]
+
+
+@dataclass
+class ProfileRow:
+    """Aggregated timings of one span kind (``category:name``)."""
+
+    key: str
+    count: int = 0
+    total: float = 0.0
+    self_total: float = 0.0
+    max_self: float = 0.0
+
+    @property
+    def mean_self(self) -> float:
+        return self.self_total / self.count if self.count else 0.0
+
+
+def aggregate_self_times(stores: Iterable[SpanStore]) -> List[ProfileRow]:
+    """Fold one or many span stores into per-kind rows, largest self first.
+
+    Only normally-closed spans contribute (an aborted attempt's duration is
+    an unwind artifact, not a measurement).
+    """
+    rows: Dict[str, ProfileRow] = {}
+    for store in stores:
+        for span in store.spans:
+            if not span.ok:
+                continue
+            key = f"{span.category}:{span.name}"
+            row = rows.get(key)
+            if row is None:
+                row = rows[key] = ProfileRow(key)
+            duration = span.duration or 0.0
+            self_time = span.self_time or 0.0
+            row.count += 1
+            row.total += duration
+            row.self_total += self_time
+            row.max_self = max(row.max_self, self_time)
+    return sorted(rows.values(), key=lambda r: (-r.self_total, r.key))
+
+
+def profile_report(
+    stores: Iterable[SpanStore],
+    top: Optional[int] = None,
+    title: str = "span self-time profile",
+) -> str:
+    """Render the flat profile as a fixed-width table."""
+    stores = list(stores)
+    rows = aggregate_self_times(stores)
+    if top is not None:
+        rows = rows[:top]
+    if not rows:
+        return f"{title}: no spans recorded (observability disabled?)"
+    grand_self = sum(r.self_total for r in rows) or 1.0
+    headers = ("span", "count", "self total", "%", "mean self", "max self", "total")
+    key_w = max(len(headers[0]), max(len(r.key) for r in rows))
+    widths = [key_w, 7, 12, 6, 11, 11, 12]
+    lines = [
+        f"{title} ({len(stores)} store(s))",
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+    ]
+    for r in rows:
+        cells = (
+            r.key.ljust(widths[0]),
+            str(r.count).rjust(widths[1]),
+            f"{r.self_total:.3f}s".rjust(widths[2]),
+            f"{100.0 * r.self_total / grand_self:.1f}".rjust(widths[3]),
+            f"{r.mean_self * 1e3:.2f}ms".rjust(widths[4]),
+            f"{r.max_self * 1e3:.2f}ms".rjust(widths[5]),
+            f"{r.total:.3f}s".rjust(widths[6]),
+        )
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

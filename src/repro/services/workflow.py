@@ -26,6 +26,7 @@ from ..core.client import AsyncRequest
 from ..core.deployment import Deployment, deploy_paper_hierarchy
 from ..core.scheduling import SchedulerPolicy, make_policy
 from ..core.statistics import RequestTrace
+from ..obs import Observability, SpanStore
 from ..platform.grid5000 import ClusterSpec, build_grid5000
 from ..sim.engine import Engine
 from ..sim.failures import FailureInjector, Outage, OutageRecord
@@ -130,6 +131,11 @@ class CampaignConfig:
     #: None (default) is the paper's happy path; a FailurePlan switches on
     #: seeded SeD outages plus the whole recovery machinery.
     failures: Optional[FailurePlan] = None
+    #: Record spans + metrics (the repro.obs subsystem).  Recording is pure
+    #: bookkeeping over timestamps already read — the event stream is
+    #: bit-identical either way (the determinism suite pins both settings);
+    #: False skips even that bookkeeping for benchmark runs.
+    observe: bool = True
 
 
 @dataclass(frozen=True)
@@ -231,8 +237,40 @@ class CampaignResult:
         return self.sequential_estimate / self.total_elapsed
 
     # -- figure series --------------------------------------------------------------------
+    #
+    # Primary source: the span store (requests leave finding/init/solve
+    # spans stamped with the *same* ``engine.now`` reads as the trace
+    # fields, so the two derivations agree to the bit — an equality test
+    # pins this).  Campaigns run with ``observe=False`` fall back to the
+    # original trace-buffer derivation.
+
+    _ZOOM2 = "ramsesZoom2"
+
+    @property
+    def obs(self) -> Optional[Observability]:
+        """The campaign's observability hub (None on pre-obs results)."""
+        return getattr(self.tracer, "obs", None)
+
+    def span_store(self) -> Optional[SpanStore]:
+        """The campaign's span store, or None when tracing was disabled."""
+        obs = self.obs
+        if obs is not None and obs.enabled and obs.spans.spans:
+            return obs.spans
+        return None
+
+    def _finding_spans(self, store: SpanStore):
+        """Finding spans of the evaluation's requests, in submission order:
+        every part-2 attempt that got a SeD, plus the completed part-1 run."""
+        part1_rid = self.part1_trace.request_id
+        for span in store.find(name="finding", status="ok"):
+            if (span.attrs.get("service") == self._ZOOM2
+                    or span.attrs.get("request_id") == part1_rid):
+                yield span
 
     def finding_times(self) -> List[float]:
+        store = self.span_store()
+        if store is not None:
+            return [s.duration for s in self._finding_spans(store)]
         out = []
         for t in [self.part1_trace] + self.part2_traces:
             if t.finding_time is not None:
@@ -240,10 +278,30 @@ class CampaignResult:
         return out
 
     def latencies(self) -> List[float]:
+        store = self.span_store()
+        if store is not None:
+            solve_start = {s.attrs.get("request_id"): s.start
+                           for s in store.find(name="solve",
+                                               service=self._ZOOM2)}
+            out = []
+            for f in store.find(name="finding", status="ok",
+                                service=self._ZOOM2):
+                start = solve_start.get(f.attrs.get("request_id"))
+                if start is not None:
+                    out.append(start - f.end)
+            return out
         return [t.latency for t in self.part2_traces if t.latency is not None]
 
     def requests_per_sed(self) -> Dict[str, int]:
+        store = self.span_store()
         counts: Dict[str, int] = {}
+        if store is not None:
+            for f in store.find(name="finding", status="ok",
+                                service=self._ZOOM2):
+                sed = f.attrs.get("sed")
+                if sed:
+                    counts[sed] = counts.get(sed, 0) + 1
+            return counts
         for t in self.part2_traces:
             if t.sed_name:
                 counts[t.sed_name] = counts.get(t.sed_name, 0) + 1
@@ -251,12 +309,29 @@ class CampaignResult:
 
     def busy_time_per_sed(self) -> Dict[str, float]:
         busy: Dict[str, float] = {}
+        store = self.span_store()
+        if store is not None:
+            # Accumulate in request-id order — the same order the trace
+            # derivation sums in, so the floating-point totals are
+            # bit-identical, not merely close.
+            entries = sorted(
+                (s.attrs.get("request_id"), s.attrs.get("sed"), s.duration)
+                for s in store.find(name="solve", status="ok",
+                                    service=self._ZOOM2))
+            for _rid, sed, duration in entries:
+                if sed:
+                    busy[sed] = busy.get(sed, 0.0) + duration
+            return busy
         for t in self.part2_traces:
             if t.sed_name and t.solve_duration is not None:
                 busy[t.sed_name] = busy.get(t.sed_name, 0.0) + t.solve_duration
         return busy
 
     def gantt(self) -> Dict[str, List[Tuple[float, float, int]]]:
+        store = self.span_store()
+        if store is not None:
+            return store.gantt(category="solve", group_by="sed",
+                               service=self._ZOOM2)
         chart: Dict[str, List[Tuple[float, float, int]]] = {}
         for t in self.part2_traces:
             if t.sed_name and t.solve_started_at is not None:
@@ -270,19 +345,34 @@ class CampaignResult:
     def overhead_per_request(self) -> List[float]:
         """Finding time + service initiation, §5.2's ~70.6 ms figure.
 
-        Both terms come from the unified request trace: the finding time is
-        stamped by the client-side TracingInterceptor, the initiation time
-        by the SeD between job-slot grant and solve start (queue wait
-        excluded, as the paper does).  Traces predating the init stamp fall
-        back to the configured ``service_init_time``.
+        Span-store derivation: the finding span's duration plus the init
+        span's (the SeD's job-slot-grant → solve-start interval, queue wait
+        excluded, as the paper does); attempts whose initiation never
+        finished fall back to the configured ``service_init_time`` — the
+        same semantics the trace fields encode.
         """
+        default_init = self.deployment.seds[0].params.service_init_time
+        store = self.span_store()
+        if store is not None:
+            init_by_rid = {s.attrs.get("request_id"): s
+                           for s in store.find(name="init",
+                                               service=self._ZOOM2)}
+            out = []
+            for f in store.find(name="finding", status="ok",
+                                service=self._ZOOM2):
+                init_span = init_by_rid.get(f.attrs.get("request_id"))
+                init = (init_span.duration
+                        if init_span is not None and init_span.ok
+                        else default_init)
+                out.append(f.duration + init)
+            return out
         out = []
         for t in self.part2_traces:
             if t.finding_time is None:
                 continue
             init = t.initiation_time
             if init is None:
-                init = self.deployment.seds[0].params.service_init_time
+                init = default_init
             out.append(t.finding_time + init)
         return out
 
@@ -332,8 +422,9 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
             heartbeat_interval=plan.heartbeat_interval,
             heartbeat_timeout=plan.heartbeat_timeout,
             heartbeat_miss_threshold=plan.heartbeat_miss_threshold)
+    obs = Observability(enabled=config.observe)
     deployment = deploy_paper_hierarchy(platform, policy=policy,
-                                        agent_params=agent_params)
+                                        agent_params=agent_params, obs=obs)
 
     workdir = config.workdir
     cleanup_dir = None
@@ -383,6 +474,14 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
 
     def campaign():
         client.initialize({"MA_name": deployment.ma.name})
+        camp_span = part_span = None
+        if obs.enabled:
+            camp_span = obs.spans.begin(
+                "campaign", "campaign", engine.now, "campaign",
+                seed=config.seed, policy=config.policy,
+                n_sub_simulations=config.n_sub_simulations)
+            part_span = obs.spans.begin("campaign", "part1", engine.now,
+                                        "part")
         # ---- part 1: the low-resolution full box --------------------------------
         if plan is not None:
             status1 = yield from client.call_retry(
@@ -393,6 +492,10 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
         error1, catalog_ref = decode_zoom1(part1_profile)
         if status1 != 0 or error1 != 0:
             raise RuntimeError(f"part 1 failed: status={status1} error={error1}")
+        if obs.enabled:
+            obs.spans.end(part_span, engine.now)
+            part_span = obs.spans.begin("campaign", "part2", engine.now,
+                                        "part")
 
         # ---- choose zoom targets from the halo catalog ---------------------------
         centers: List[Tuple[float, float, float]]
@@ -425,6 +528,9 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
                 requests.append(client.call_async(profile))
         yield from client.wait_all()
         outcome["statuses"] = [r.process.value for r in requests]
+        if obs.enabled:
+            obs.spans.end(part_span, engine.now)
+            obs.spans.end(camp_span, engine.now)
 
     if plan is not None:
         # Heartbeat monitors (and any still-pending restart) keep the event
@@ -434,6 +540,10 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
         engine.run_process(campaign())
     if cleanup_dir is not None:
         cleanup_dir.cleanup()
+    # End-of-run sweep: close anything a failure path left open (status
+    # "lost"), then fold the transport counters into the metrics registry.
+    obs.finalize(engine.now)
+    obs.collect_transport(deployment.fabric, engine.now)
 
     # Collect traces: part 1 is the first trace, part 2 the rest.  Under a
     # FailurePlan a resubmitted call leaves one trace per attempt; the

@@ -389,7 +389,7 @@ class Process(Event):
 class Engine:
     """The simulation engine: clock plus event queue."""
 
-    __slots__ = ("_queue", "_active_process", "event_log", "timeout")
+    __slots__ = ("_queue", "_active_process", "event_log", "timeout", "obs")
 
     #: Class-wide default for :attr:`event_log`.  Tests set this to a list
     #: before building a stack whose engines they cannot reach (e.g. the
@@ -411,6 +411,13 @@ class Engine:
         #: clock from the queue); the Python fallback takes the engine.
         self.timeout = partial(
             Timeout, self._queue if CTimeout is not None else self)
+        #: Observability hub (spans/metrics over simulated time).  Defaults
+        #: to the shared disabled singleton; deployments install theirs.
+        #: Recording is pure bookkeeping — never events — so the dispatch
+        #: stream is identical with it enabled or disabled.
+        from ..obs import NULL_OBS
+
+        self.obs = NULL_OBS
 
     # -- clock ----------------------------------------------------------------
 
@@ -510,6 +517,17 @@ class Engine:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
+        obs = self.obs
+        if obs.enabled:
+            span = obs.spans.begin("engine", "run", self._now, "engine")
+            try:
+                return self._run_inner(until)
+            finally:
+                obs.spans.end(span, self._queue.now,
+                              events=self._queue.count)
+        return self._run_inner(until)
+
+    def _run_inner(self, until: Optional[float]) -> float:
         queue = self._queue
         if self.event_log is not None:
             # Logging path: full (when, prio, seq) per event, through the
@@ -556,6 +574,24 @@ class Engine:
         """
         proc = self.process(generator)
         queue = self._queue
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            span = obs.spans.begin("engine", "run", self._now, "engine")
+        try:
+            self._run_until_complete_inner(proc, queue, max_time)
+        finally:
+            if span is not None:
+                obs.spans.end(span, queue.now, events=queue.count)
+        if not proc._ok:
+            # The exception surfaces here; don't escalate it a second time
+            # when the process event itself is dispatched.
+            proc._defused = True
+            raise proc._value
+        return proc._value
+
+    def _run_until_complete_inner(self, proc: Process, queue,
+                                  max_time: Optional[float]) -> None:
         if self.event_log is not None:
             dispatch = self._dispatch
             while not proc._scheduled:
@@ -579,12 +615,6 @@ class Engine:
             if code == 1:
                 raise SimulationError(
                     f"process {proc.name!r} did not finish by t={max_time}")
-        if not proc._ok:
-            # The exception surfaces here; don't escalate it a second time
-            # when the process event itself is dispatched.
-            proc._defused = True
-            raise proc._value
-        return proc._value
 
     def defuse(self, process: Process) -> None:
         """Mark a process so its failure is not escalated by the kernel."""

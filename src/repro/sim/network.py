@@ -273,6 +273,7 @@ class Network:
             # Fast path: no shared link on the route, so the duration is the
             # analytic one — a single timeout, no slot bookkeeping.
             yield self.engine.timeout(latency + nbytes / bottleneck)
+            self._observe_transfer(nbytes, start)
             return self.engine.now - start
         claims = []
         try:
@@ -283,4 +284,16 @@ class Network:
         finally:
             for link, req in claims:
                 link._slot.release(req)
+        self._observe_transfer(nbytes, start)
         return self.engine.now - start
+
+    def _observe_transfer(self, nbytes: int, start: float) -> None:
+        """Record one completed transfer into the engine's metrics registry
+        (bytes distribution + wall seconds spent on the wire)."""
+        obs = self.engine.obs
+        if obs.enabled:
+            now = self.engine.now
+            obs.metrics.histogram("network.transfer_bytes").observe(
+                float(nbytes), start)
+            obs.metrics.histogram("network.transfer_seconds").observe(
+                now - start, now)

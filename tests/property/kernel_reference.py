@@ -33,12 +33,15 @@ WORKLOADS = {
 }
 
 
-def capture_stream(n_sub_simulations: int, seed: int,
-                   n_crashes: int = 0) -> Tuple[List[tuple], float]:
+def capture_stream(n_sub_simulations: int, seed: int, n_crashes: int = 0,
+                   observe: bool = True) -> Tuple[List[tuple], float]:
     """Run one campaign with event logging on; return (stream, final_time).
 
     Uses :attr:`Engine.default_event_log` because the workflow builds its
-    own engine; the class attribute is restored on exit.
+    own engine; the class attribute is restored on exit.  ``observe``
+    toggles the span/metrics recording — the references are recorded with
+    it on, and the suite asserts the stream is identical with it off
+    (span recording is pure bookkeeping, never events).
     """
     from repro.services import CampaignConfig, FailurePlan, run_campaign
     from repro.sim.engine import Engine
@@ -48,7 +51,8 @@ def capture_stream(n_sub_simulations: int, seed: int,
     Engine.default_event_log = log
     try:
         run_campaign(CampaignConfig(n_sub_simulations=n_sub_simulations,
-                                    seed=seed, failures=failures))
+                                    seed=seed, failures=failures,
+                                    observe=observe))
     finally:
         Engine.default_event_log = None
     final_time = log[-1][0] if log else 0.0

@@ -19,10 +19,11 @@ import pytest
 from . import kernel_reference as ref
 
 
-def _check(slug: str) -> None:
+def _check(slug: str, **overrides) -> None:
     with open(ref.reference_path(slug)) as fh:
         expected = json.load(fh)
-    stream, final_time = ref.capture_stream(**ref.WORKLOADS[slug])
+    workload = dict(ref.WORKLOADS[slug], **overrides)
+    stream, final_time = ref.capture_stream(**workload)
     got = ref.digest(stream, final_time)
     assert got["n_events"] == expected["n_events"], (
         f"event count changed: {got['n_events']} != {expected['n_events']}")
@@ -50,3 +51,10 @@ def test_campaign_event_stream_is_bit_identical():
 def test_degraded_campaign_event_stream_is_bit_identical():
     """E11 (2 crashes): failure/recovery machinery replays exactly too."""
     _check("degraded")
+
+
+def test_disabled_tracing_replays_identical_stream():
+    """observe=False must replay the observe=True reference bit-for-bit:
+    span/metrics recording is pure bookkeeping that schedules no events, so
+    turning it off cannot change the total order either."""
+    _check("campaign", observe=False)

@@ -1,0 +1,108 @@
+"""Observability wired through a real campaign.
+
+The contract the tentpole rests on: figure-level numbers derived from the
+span store are bit-identical to the trace-derived ones, failure paths never
+leak open spans, and span stores survive detach/pickle so parallel sweeps
+can aggregate them.
+"""
+
+import pickle
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.runner import collect_span_stores
+from repro.obs import NULL_OBS
+from repro.services import CampaignConfig, FailurePlan, run_campaign
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return run_campaign(CampaignConfig(n_sub_simulations=8, observe=True))
+
+
+@pytest.fixture(scope="module")
+def blind():
+    return run_campaign(CampaignConfig(n_sub_simulations=8, observe=False))
+
+
+def test_figures_identical_with_and_without_spans(observed, blind):
+    assert observed.finding_times() == blind.finding_times()
+    assert observed.latencies() == blind.latencies()
+    assert observed.requests_per_sed() == blind.requests_per_sed()
+    assert observed.busy_time_per_sed() == blind.busy_time_per_sed()
+    assert observed.gantt() == blind.gantt()
+    assert list(observed.overhead_per_request) == list(blind.overhead_per_request)
+
+
+def test_span_store_present_only_when_observing(observed, blind):
+    assert observed.span_store() is not None
+    assert blind.span_store() is None
+    assert len(NULL_OBS.spans.spans) == 0
+    assert len(NULL_OBS.metrics) == 0
+
+
+def test_healthy_campaign_leaves_no_open_or_abnormal_spans(observed):
+    store = observed.span_store()
+    assert store.open_count == 0
+    assert all(s.status == "ok" for s in store.spans)
+
+
+def test_request_spans_form_the_expected_hierarchy(observed):
+    store = observed.span_store()
+    requests = list(store.find(name="request"))
+    assert len(requests) == 9  # part 1 + 8 zooms
+    for name in ("finding", "transfer", "queue", "init", "solve"):
+        spans = list(store.find(name=name, status="ok"))
+        assert len(spans) == 9, name
+    solves = list(store.find(name="solve", status="ok"))
+    assert all("sed" in s.attrs and "cluster" in s.attrs for s in solves)
+
+
+def test_metrics_registry_populated(observed):
+    metrics = observed.obs.metrics
+    hist = metrics.histogram("request.finding_seconds")
+    assert hist.count == 9
+    assert metrics.counter("transport.messages").value > 0
+
+
+def test_crashes_abort_spans_without_leaking():
+    config = CampaignConfig(
+        n_sub_simulations=30,
+        observe=True,
+        failures=FailurePlan(n_crashes=2),
+    )
+    result = run_campaign(config)
+    store = result.span_store()
+    assert store.open_count == 0
+    assert any(s.status != "ok" for s in store.spans)
+    names = [m.name for m in store.marks]
+    assert "crash" in names
+    crashes = list(result.obs.metrics.collect(name="sed.crashes"))
+    assert sum(c.value for c in crashes) >= 1
+
+
+def test_detached_result_carries_spans_across_pickle(observed):
+    detached = observed.detach()
+    clone = pickle.loads(pickle.dumps(detached))
+    stores = collect_span_stores([clone])
+    assert len(stores) == 1
+    assert len(stores[0].spans) == len(observed.span_store().spans)
+
+
+def test_collect_span_stores_skips_blind_results(observed, blind):
+    assert collect_span_stores([blind, None]) == []
+    assert len(collect_span_stores([observed, blind])) == 1
+
+
+def test_cli_trace_gantt_profile_outputs(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    gantt = tmp_path / "gantt.svg"
+    argv = ["campaign", "--n-sub", "4", "--trace", str(trace), "--profile"]
+    argv += ["--gantt-svg", str(gantt)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "profile: campaign" in out
+    assert "trace:" in out
+    assert trace.exists()
+    assert gantt.read_text().startswith("<svg")

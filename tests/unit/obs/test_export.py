@@ -1,0 +1,55 @@
+"""Chrome-trace and SVG Gantt exporters."""
+
+import json
+
+from repro.obs import SpanStore, chrome_trace, svg_gantt, write_chrome_trace
+
+
+def _store():
+    store = SpanStore()
+    span = store.begin("sed:n1", "solve", 1.5, category="solve", request_id=3)
+    store.end(span, 2.5)
+    bad = store.begin("sed:n1", "solve", 3.0, category="solve", request_id=4)
+    store.end(bad, 3.5, "aborted")
+    store.mark("sed:n1", "crash", 4.0)
+    return store
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(_store(), process_name="test")
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "test"
+    assert any(e["args"]["name"] == "sed:n1" for e in meta[1:])
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete[0]["ts"] == 1.5e6
+    assert complete[0]["dur"] == 1e6
+    assert "status" not in complete[0]["args"]
+    assert complete[1]["args"]["status"] == "aborted"
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants[0]["name"] == "crash"
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(_store(), str(path))
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == 5
+
+
+def test_svg_gantt_renders_rows_and_abnormal_markers():
+    chart = {"n1": [(0.0, 100.0, 1), (50.0, None, 2)], "n2": [(10.0, 60.0, 3)]}
+    svg = svg_gantt(chart, width=640, title="test chart")
+    assert svg.startswith("<svg ")
+    assert svg.endswith("</svg>")
+    assert "<title>test chart</title>" in svg
+    assert "#d65f5f" in svg
+    assert "aborted" in svg
+    assert 'width="640"' in svg
+
+
+def test_svg_gantt_handles_empty_chart():
+    svg = svg_gantt({})
+    assert svg.startswith("<svg ")
+    assert svg.endswith("</svg>")

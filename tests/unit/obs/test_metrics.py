@@ -1,0 +1,73 @@
+"""Metrics instruments: windowing, percentiles, labels, merging."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_windowing_and_total():
+    reg = MetricsRegistry()
+    c = reg.counter("reqs")
+    c.inc()
+    c.inc(2.0, t=10.0)
+    c.inc(3.0, t=20.0)
+    assert c.value == 6.0
+    assert c.window(5.0, 15.0) == 2.0
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_labelled_instruments_are_distinct():
+    reg = MetricsRegistry()
+    a = reg.counter("solves", sed="n1")
+    b = reg.counter("solves", sed="n2")
+    assert a is not b
+    assert reg.counter("solves", sed="n1") is a
+    assert len(reg) == 2
+    assert list(reg.collect(name="solves")) == [a, b]
+    assert list(reg.collect(kind="gauge")) == []
+
+
+def test_gauge_at_and_time_weighted_mean():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(1.0, t=0.0)
+    g.set(3.0, t=10.0)
+    assert g.at(5.0) == 1.0
+    assert g.at(10.0) == 3.0
+    assert g.at(-1.0) is None
+    assert g.time_weighted_mean(0.0, 20.0) == 2.0
+
+
+def test_histogram_percentile_and_window():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for i in range(10):
+        h.observe(float(i), t=float(i))
+    assert h.count == 10
+    assert h.mean == 4.5
+    assert h.percentile(50) == 4.0
+    assert h.percentile(100) == 9.0
+    assert h.window(2.0, 5.0) == [2.0, 3.0, 4.0]
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_merge_adds_counters_and_concatenates_histograms():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("n").inc(1.0, t=0.0)
+    b.counter("n").inc(2.0, t=1.0)
+    b.histogram("h").observe(5.0, t=0.0)
+    b.gauge("g").set(7.0, t=0.0)
+    a.merge(b)
+    assert a.counter("n").value == 3.0
+    assert a.counter("n").window(0.0, 2.0) == 3.0
+    assert a.histogram("h").count == 1
+    assert a.gauge("g").value == 7.0
+
+
+def test_render_is_stable_text():
+    reg = MetricsRegistry()
+    reg.counter("reqs", sed="n1").inc(2.0)
+    assert reg.render() == 'reqs{sed="n1"} [counter] value=2'

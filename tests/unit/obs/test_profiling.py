@@ -1,0 +1,48 @@
+"""Flat self-time profile aggregation."""
+
+from repro.obs import SpanStore, aggregate_self_times, profile_report
+
+
+def _store():
+    store = SpanStore()
+    outer = store.begin("t", "request", 0.0, category="request")
+    inner = store.begin("t", "solve", 1.0, category="solve")
+    store.end(inner, 9.0)
+    store.end(outer, 10.0)
+    dead = store.begin("t", "solve", 11.0, category="solve")
+    store.end(dead, 12.0, "aborted")
+    return store
+
+
+def test_aggregate_self_times_ok_spans_only():
+    rows = aggregate_self_times([_store()])
+    by_key = {r.key: r for r in rows}
+    assert set(by_key) == {"request:request", "solve:solve"}
+    assert by_key["solve:solve"].count == 1
+    assert by_key["solve:solve"].self_total == 8.0
+    assert by_key["request:request"].self_total == 2.0
+    assert rows[0].key == "solve:solve"
+
+
+def test_aggregate_sums_across_stores():
+    rows = aggregate_self_times([_store(), _store()])
+    by_key = {r.key: r for r in rows}
+    assert by_key["solve:solve"].count == 2
+    assert by_key["solve:solve"].self_total == 16.0
+    assert by_key["solve:solve"].mean_self == 8.0
+
+
+def test_profile_report_renders_table():
+    text = profile_report([_store()], title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo (1 store(s))"
+    assert lines[1].startswith("span")
+    assert "solve:solve" in lines[2]
+    assert "80.0" in lines[2]
+
+
+def test_profile_report_empty_and_top():
+    assert "no spans" in profile_report([SpanStore()])
+    text = profile_report([_store()], top=1)
+    assert "request:request" not in text
+    assert "solve:solve" in text
