@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .experiments import (
     ablation_scheduler,
+    data_locality,
     degraded_campaign,
     figure1_architecture,
     figure2_density,
@@ -67,10 +68,15 @@ _EXPERIMENTS: Dict[str, Tuple[str, Callable[..., Any], Callable[[Any], str]]] = 
     "degraded": ("E11: the campaign under injected SeD failures",
                  lambda args: degraded_campaign.run(jobs=args.jobs),
                  degraded_campaign.render),
+    "data-locality": ("E12: data-locality ablation "
+                      "(volatile vs persistent vs replicated)",
+                      lambda args: data_locality.run(
+                          n_sub_simulations=args.n_sub, jobs=args.jobs),
+                      data_locality.render),
 }
 
 #: Experiments that sweep independent runs and accept ``--jobs``.
-_PARALLEL = ("ablation", "scaling", "degraded")
+_PARALLEL = ("ablation", "scaling", "degraded", "data-locality")
 
 
 def _campaigns_of(result: Any) -> List[Any]:
@@ -159,11 +165,12 @@ def _run_campaign(args) -> Tuple[str, Any]:
 
     config = CampaignConfig(n_sub_simulations=args.n_sub, policy=args.policy,
                             with_predictor=args.policy == "mct",
-                            seed=args.seed)
+                            seed=args.seed, data_policy=args.data_policy)
     result = run_campaign(config)
     lines = [
         f"campaign: {args.n_sub} zoom requests, policy={args.policy}, "
-        f"seed={args.seed}",
+        f"seed={args.seed}"
+        + (f", data-policy={args.data_policy}" if args.data_policy else ""),
         f"  part 1:          {hms(result.part1_duration)}",
         f"  part 2 mean:     {hms(result.part2_mean_duration)}",
         f"  total elapsed:   {hms(result.total_elapsed)}",
@@ -171,6 +178,11 @@ def _run_campaign(args) -> Tuple[str, Any]:
         f"  speedup:         {result.speedup:.2f}x",
         f"  requests/SeD:    {sorted(result.requests_per_sed().values())}",
     ]
+    if args.data_policy is not None:
+        mib = 2 ** 20
+        lines.append(f"  network bytes:   "
+                     f"{result.net_bytes_total / mib:.1f} MiB total, "
+                     f"{result.net_bytes_wan / mib:.1f} MiB over WAN")
     if args.trace_csv:
         result.tracer.write_csv(args.trace_csv)
         lines.append(f"  trace written to {args.trace_csv}")
@@ -202,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
                 "--jobs", "-j", type=int, default=None,
                 help="worker processes for the sweep (default: serial; "
                      "0 = one per CPU core)")
+        if name == "data-locality":
+            p.add_argument("--n-sub", type=int, default=100,
+                           help="zoom sub-simulations per arm (default 100)")
         _add_obs_flags(p)
 
     campaign = sub.add_parser("campaign",
@@ -212,6 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["default", "mct", "min-queue", "fastest"],
                           help="scheduler policy")
     campaign.add_argument("--seed", type=int, default=2007)
+    campaign.add_argument("--data-policy", default=None,
+                          choices=["volatile", "persistent", "replicated",
+                                   "broadcast"],
+                          help="DAGDA-style data management policy "
+                               "(default: no data grid)")
     campaign.add_argument("--trace-csv", default=None,
                           help="dump the request trace table as CSV")
     _add_obs_flags(campaign)
@@ -227,7 +247,7 @@ def main(argv: Optional[list] = None) -> int:
         for name, (desc, _, _) in _EXPERIMENTS.items():
             print(f"  {name.ljust(width)} {desc}")
         print(f"  {'campaign'.ljust(width)} custom campaign "
-              "(--n-sub, --policy, --seed, --trace-csv)")
+              "(--n-sub, --policy, --seed, --data-policy, --trace-csv)")
         return 0
     if args.command == "campaign":
         text, result = _run_campaign(args)

@@ -105,6 +105,10 @@ class LocalAgent:
                 miss_threshold=self.params.heartbeat_miss_threshold))
         #: Children deregistered by the heartbeat monitor, in event order.
         self.deregistrations: List[str] = []
+        #: Replica catalog node of this agent (set by the deployment when a
+        #: data grid is wired; None keeps the agent data-unaware).
+        self.data_catalog = None
+        self.endpoint.on("dm_locate", self._handle_dm_locate)
         #: Monitoring counters ("the information stored on an agent is the
         #: list of requests, the number of servers that can solve a given
         #: problem...", §2.1).
@@ -148,6 +152,21 @@ class LocalAgent:
         monitors its LAs exactly as LAs monitor their SeDs)."""
         return ("pong", 64)
         yield  # pragma: no cover - make this a generator function
+
+    # -- replica catalog (DAGDA lookups) ---------------------------------------------
+
+    def _handle_dm_locate(self, msg) -> Generator[Event, Any, tuple]:
+        """Resolve replicas of a data id, with service-``find`` hop
+        accounting: answer from this agent's catalog when it knows the id,
+        else forward one level up (LA miss -> MA)."""
+        data_id: str = msg.payload
+        replicas = []
+        if self.data_catalog is not None and data_id in self.data_catalog:
+            replicas = self.data_catalog.locate(data_id)
+        elif self.parent is not None:
+            replicas = yield from self.endpoint.rpc(
+                self.parent, "dm_locate", data_id)
+        return (list(replicas), 64 + 96 * len(replicas))
 
     # -- estimate fan-out ----------------------------------------------------------
 
@@ -217,6 +236,11 @@ class MasterAgent(LocalAgent):
         self.log_central = log_central
         self.policy = policy or DefaultPolicy()
         self.ctx = SchedulingContext()
+        #: Data-locality pricing hook: ``fn(handles, candidate_names) ->
+        #: {sed_name: seconds}`` (the deployment wires
+        #: :meth:`repro.data.DataGrid.transfer_cost` here).  None when no
+        #: data grid is deployed.
+        self.data_cost_fn = None
         #: One call site for monitoring: journals to the tracer and posts
         #: the same event to LogCentral (when deployed).
         self.tracing = self.endpoint.pipeline.add(
@@ -244,6 +268,11 @@ class MasterAgent(LocalAgent):
         self.ctx.now = self.engine.now
         self.ctx.service = sub.service_desc.path
         self.ctx.resident_bytes = sub.resident_bytes
+        if self.data_cost_fn is not None and sub.data_handles:
+            self.ctx.data_transfer_cost = self.data_cost_fn(
+                sub.data_handles, [c.sed_name for c in candidates])
+        else:
+            self.ctx.data_transfer_cost = {}
         chosen = self.policy.choose(candidates, self.ctx)
         assert chosen is not None
         self.ctx.note_dispatch(chosen.sed_name)

@@ -185,7 +185,10 @@ class DietClient:
                             client_host=self.host.name,
                             client_endpoint=self.endpoint.name,
                             request_nbytes=profile.request_nbytes(),
-                            resident_bytes=resident)
+                            resident_bytes=resident,
+                            data_handles=tuple(
+                                arg.value for arg in profile.arguments
+                                if isinstance(arg.value, DataHandle)))
         # Lifecycle stamps (submitted_at/found_at/data_sent_at/completed_at)
         # are recorded by the endpoint's TracingInterceptor as the messages
         # pass through the pipeline.

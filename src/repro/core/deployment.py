@@ -10,7 +10,7 @@ cluster's NFS volume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..obs import Observability
 from ..platform.grid5000 import Grid5000Platform
@@ -22,6 +22,9 @@ from .scheduling import SchedulerPolicy
 from .sed import SeD, SeDParams
 from .statistics import Tracer
 from .transport import TransportFabric, TransportParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (repro.data needs core)
+    from ..data.manager import DataGrid, DataManagerConfig
 
 __all__ = ["Deployment", "deploy_paper_hierarchy"]
 
@@ -39,6 +42,8 @@ class Deployment:
     client: Optional[DietClient] = None
     platform: Optional[Grid5000Platform] = None
     log_central: Optional["LogCentral"] = None
+    #: DAGDA data fabric (None unless the deployment wired one).
+    data_grid: Optional["DataGrid"] = None
 
     def sed_by_name(self, name: str) -> SeD:
         for sed in self.seds:
@@ -77,7 +82,8 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                            agent_params: Optional[AgentParams] = None,
                            with_client: bool = True,
                            with_log_central: bool = False,
-                           obs: Optional[Observability] = None) -> Deployment:
+                           obs: Optional[Observability] = None,
+                           data: Optional["DataManagerConfig"] = None) -> Deployment:
     """Deploy the exact §5.1 hierarchy on a built Grid'5000 platform.
 
     * MA on the Lyon service node (with the client and, when
@@ -86,6 +92,11 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
     * one LA per cluster, on the cluster frontend;
     * one SeD per reserved 16-node block (11 in the paper layout), each
       mounting its cluster's NFS volume.
+
+    ``data`` opts into the DAGDA data grid: every SeD's data manager joins
+    a shared replica catalog threaded through the MA/LA tree with the given
+    per-SeD configuration.  None (the default) leaves the deployment
+    byte-for-byte as before the data subsystem existed.
     """
     engine = platform.engine
     fabric = TransportFabric(engine, platform.network, transport_params)
@@ -105,6 +116,14 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                      params=agent_params, tracer=tracer,
                      log_central=log_name)
 
+    data_grid: Optional["DataGrid"] = None
+    if data is not None:
+        from ..data.manager import DataGrid
+
+        data_grid = DataGrid(platform.network)
+        ma.data_catalog = data_grid.root
+        ma.data_cost_fn = data_grid.transfer_cost
+
     local_agents: List[LocalAgent] = []
     seds: List[SeD] = []
     for full_name, cluster in platform.clusters.items():
@@ -112,6 +131,11 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                         parent=ma.name, params=agent_params, tracer=tracer)
         ma.add_child(la.name)
         local_agents.append(la)
+        la_node = None
+        if data_grid is not None:
+            la_node = data_grid.node(la.name)
+            la.data_catalog = la_node
+            data_grid.volumes[cluster.nfs.name] = cluster.nfs
         for host in cluster.sed_hosts:
             if not cluster.nfs.is_mounted_on(host.name):
                 raise DietError(
@@ -122,6 +146,8 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                       log_central=log_name, parent=la.name)
             la.add_child(sed.name)
             seds.append(sed)
+            if data_grid is not None:
+                data_grid.attach(sed, la_node, data)
 
     client = None
     if with_client:
@@ -130,4 +156,5 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
 
     return Deployment(engine=engine, fabric=fabric, tracer=tracer, ma=ma,
                       local_agents=local_agents, seds=seds, client=client,
-                      platform=platform, log_central=log_central)
+                      platform=platform, log_central=log_central,
+                      data_grid=data_grid)

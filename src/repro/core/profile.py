@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
-from .data import ArgDesc, DietArg, Direction
+from .data import HANDLE_WIRE_BYTES, ArgDesc, DietArg, Direction
 from .exceptions import ProfileError, ServiceNotFoundError
 
 __all__ = ["ProfileDesc", "Profile", "ServiceTable", "SolveFunc"]
@@ -144,13 +144,24 @@ class Profile:
                    if a.direction in (Direction.IN, Direction.INOUT))
 
     def response_nbytes(self) -> int:
-        """Bytes shipped SeD -> client (INOUT + returning OUT values)."""
+        """Bytes shipped SeD -> client (INOUT + returning OUT values).
+
+        A produced OUT value that stays on the server (persistent,
+        non-RETURN mode) still ships its :data:`HANDLE_WIRE_BYTES`-sized
+        reference — charged here, exactly once, and nowhere else on the
+        reply path.  Values are sized from what the producer actually set
+        (``a.nbytes`` reads the declared FileRef/array size), never from a
+        client-side placeholder.
+        """
         total = 0
         for a in self.arguments:
             if a.direction is Direction.INOUT:
                 total += a.nbytes
-            elif a.direction is Direction.OUT and a.desc.persistence.returns_to_client:
-                total += a.nbytes
+            elif a.direction is Direction.OUT:
+                if a.desc.persistence.returns_to_client:
+                    total += a.nbytes
+                elif a.is_set and a.value is not None:
+                    total += HANDLE_WIRE_BYTES
         return total
 
     def validate_for_submit(self) -> None:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .profile import Profile, ProfileDesc
 
@@ -47,6 +47,10 @@ class SubmitRequest:
     #: SeD (from DataHandle arguments) — the Data Location Manager's view,
     #: consumed by locality-aware schedulers.
     resident_bytes: Dict[str, int] = field(default_factory=dict)
+    #: The persistent-input handles themselves, so the MA can price each
+    #: candidate's transfer cost through the replica catalog (DataHandle is
+    #: frozen/hashable; empty for requests without persistent inputs).
+    data_handles: Tuple = ()
 
     @property
     def service_path(self) -> str:

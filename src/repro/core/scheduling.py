@@ -99,6 +99,10 @@ class SchedulingContext:
     #: Bytes of the current request's persistent inputs resident per SeD
     #: (set by the MA from the submit request; the DTM location view).
     resident_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Estimated seconds each candidate SeD would spend pulling the
+    #: request's non-resident persistent inputs (set by the MA from the
+    #: replica catalog; empty when no data grid is deployed).
+    data_transfer_cost: Dict[str, float] = field(default_factory=dict)
 
     def note_dispatch(self, sed_name: str) -> None:
         self.dispatched[sed_name] = self.dispatched.get(sed_name, 0) + 1
@@ -120,6 +124,10 @@ class SchedulingContext:
     def in_flight(self, sed_name: str) -> int:
         return (self.dispatched.get(sed_name, 0)
                 - self.completed.get(sed_name, 0))
+
+    def data_cost(self, sed_name: str) -> float:
+        """Transfer seconds this SeD would pay for non-resident inputs."""
+        return self.data_transfer_cost.get(sed_name, 0.0)
 
 
 class SchedulerPolicy:
@@ -215,6 +223,11 @@ class MCTPolicy(SchedulerPolicy):
     service-provided cost model), else ``1 / EST_SPEED`` as a last resort.
     This is the plug-in scheduler the paper says "a better makespan could
     be attained by writing" (§5.2, citing MGC'06).
+
+    When a data grid is deployed the MA also prices each candidate's pull
+    of non-resident persistent inputs (``ctx.data_cost``) — the DAGDA
+    locality hook: completion estimates include the data movement the
+    placement would cause.
     """
 
     name = "mct"
@@ -236,7 +249,7 @@ class MCTPolicy(SchedulerPolicy):
             comm = est.get(EST_COMMTIME, 0.0)
             if comm == float("inf"):
                 comm = 0.0
-            return (backlog + 1.0) * t + comm
+            return (backlog + 1.0) * t + comm + ctx.data_cost(est.sed_name)
 
         return sorted(candidates, key=lambda e: (completion(e), e.sed_name))
 

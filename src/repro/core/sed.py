@@ -106,8 +106,13 @@ class SeD:
         self.tracing = self.endpoint.pipeline.add(
             TracingInterceptor(self.tracer, log_central))
         self._bind_handlers()
-        #: DTM-style persistent data: data_id -> (value, nbytes).
-        self.data_store: Dict[str, tuple] = {}
+        #: DTM/DAGDA data agent.  Standalone by default (legacy persistent-
+        #: data behaviour); ``DataGrid.attach`` upgrades it in place with a
+        #: capacity-bounded store, replica catalog and transfer machinery.
+        #: (Imported here: repro.data depends on repro.core at module level.)
+        from ..data.manager import DataManager
+
+        self.data_manager = DataManager(self)
         self.solve_count = 0
         self.solve_durations: List[float] = []
         self.crash_count = 0
@@ -120,6 +125,7 @@ class SeD:
         self.endpoint.on("estimate", self._handle_estimate)
         self.endpoint.on("solve", self._handle_solve)
         self.endpoint.on("fetch_data", self._handle_fetch_data)
+        self.endpoint.on("dm_fetch", self._handle_fetch_data)
         self.endpoint.on("ping", self._handle_ping)
 
     # -- service registration (diet_service_table_add) ----------------------------
@@ -147,6 +153,11 @@ class SeD:
     def cluster(self) -> str:
         """Cluster this SeD's host belongs to (metric/span label)."""
         return str(self.host.properties.get("cluster", self.host.name))
+
+    @property
+    def data_store(self):
+        """The data manager's store (kept for the legacy attribute name)."""
+        return self.data_manager.store
 
     # -- crash / restart (failure model) -------------------------------------------
 
@@ -180,7 +191,11 @@ class SeD:
                 if span.attrs.get("sed") == self.name:
                     obs.spans.end(span, now, "aborted")
         self.fabric.unbind(self.name)
-        self.data_store.clear()
+        self.data_manager.on_crash()
+        if self.nfs is not None:
+            # A crashed writer's in-flight NFS reservations must not leak
+            # volume capacity (its partial files never land).
+            self.nfs.release_host(self.host.name)
 
     def restart(self) -> None:
         """The node comes back: fresh endpoint, empty volatile state.
@@ -244,12 +259,13 @@ class SeD:
     # -- persistent data (DTM) ---------------------------------------------------------
 
     def _handle_fetch_data(self, msg) -> Generator[Event, Any, tuple]:
-        """Serve a persisted datum to a peer SeD (or back to a client)."""
+        """Serve a persisted datum to a peer SeD (or back to a client).
+
+        Bound as both the legacy ``fetch_data`` op and the data manager's
+        ``dm_fetch`` — one lookup, charged at the datum's true size.
+        """
         data_id = msg.payload
-        entry = self.data_store.get(data_id)
-        if entry is None:
-            raise DataError(f"no persistent data {data_id!r} on {self.name}")
-        value, nbytes = entry
+        value, nbytes = self.data_manager.serve(data_id)
         yield self.engine.timeout(0.0)
         return (value, nbytes)
 
@@ -257,41 +273,45 @@ class SeD:
         """Materialize DataHandle-valued IN/INOUT arguments ("Data
         downloading" in the paper's solve skeleton).
 
-        Local handles cost nothing; remote ones are fetched SeD-to-SeD at
-        the data's true size — the point of DIET_PERSISTENT: the bytes never
+        Local handles cost nothing; remote ones are pulled through the data
+        manager (nearest replica, coalesced with concurrent pulls) at the
+        data's true size — the point of DIET_PERSISTENT: the bytes never
         round-trip through the client.
         """
         for arg in profile.arguments:
             if (arg.direction is Direction.OUT
                     or not isinstance(arg.value, DataHandle)):
                 continue
-            handle = arg.value
-            if handle.sed_name == self.name:
-                entry = self.data_store.get(handle.data_id)
-                if entry is None:
-                    raise DataError(f"stale handle {handle.data_id!r}")
-                arg.set(entry[0])
-            else:
-                value = yield from self.endpoint.rpc(
-                    handle.sed_name, "fetch_data", handle.data_id)
-                arg.set(value)
+            value = yield from self.data_manager.resolve(arg.value)
+            arg.set(value)
 
     def _persist_outputs(self, req: SolveRequest, profile: Profile,
                          out_values: Dict[int, Any]) -> None:
         """Keep server copies per the argument persistence modes; replace
-        non-returning values with handles in the reply."""
+        non-returning values with handles in the reply.
+
+        A full store with everything pinned raises ``StoreFullError``
+        (a :class:`DataError`), which the transport reports to the client as
+        an error reply.
+        """
         for i, arg in enumerate(profile.arguments):
             if arg.direction is Direction.IN or not arg.is_set:
+                continue
+            if arg.value is None or isinstance(arg.value, DataHandle):
+                # Nothing produced, or already persisted under a handle the
+                # solve passed through — never re-store a handle as data.
                 continue
             mode = arg.desc.persistence
             if not mode.keeps_server_copy:
                 continue
-            data_id = f"{self.name}/req{req.request_id}/arg{i}"
-            self.data_store[data_id] = (arg.value, arg.nbytes)
+            data_id = self.data_manager.put(
+                f"{self.name}/req{req.request_id}/arg{i}",
+                arg.value, arg.nbytes, mode)
             if not mode.returns_to_client:
                 out_values[i] = DataHandle(data_id=data_id,
                                            sed_name=self.name,
                                            nbytes=arg.nbytes)
+                self.data_manager.note_reply_handle(arg.nbytes)
 
     # -- solving --------------------------------------------------------------------
 

@@ -1,0 +1,84 @@
+"""DAGDA-style distributed data management for the DIET reproduction.
+
+The paper's campaign ships the same initial conditions and restart dumps
+over and over because nothing honoured DIET's persistence modes.  This
+package is the DTM/DAGDA substitute that does:
+
+* :mod:`~repro.data.store` — per-SeD content-addressed stores with byte
+  capacity, STICKY pinning, and pluggable eviction;
+* :mod:`~repro.data.catalog` — the hierarchical replica catalog threaded
+  through the MA/LA tree;
+* :mod:`~repro.data.transfer` — coalescing peer-to-peer pulls with
+  cluster-local NFS fast paths;
+* :mod:`~repro.data.policy` — replication policies (none, per-cluster,
+  eager-broadcast);
+* :mod:`~repro.data.manager` — the per-SeD manager + deployment-wide
+  :class:`~repro.data.manager.DataGrid`, including the transfer-cost hook
+  MCT scheduling uses for data locality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .catalog import CatalogNode, Replica
+from .manager import DataGrid, DataGridStats, DataManager, DataManagerConfig
+from .policy import (EagerBroadcast, NoReplication, PerClusterReplication,
+                     ReplicationPolicy, make_replication_policy)
+from .store import (CostAwareEviction, DataStore, EvictionPolicy, LRUEviction,
+                    StoreEntry, StoreFullError, content_digest, make_eviction)
+from .transfer import TransferManager
+
+__all__ = [
+    "CatalogNode",
+    "CostAwareEviction",
+    "DataGrid",
+    "DataGridStats",
+    "DataManager",
+    "DataManagerConfig",
+    "DataStore",
+    "EagerBroadcast",
+    "EvictionPolicy",
+    "LRUEviction",
+    "NoReplication",
+    "PerClusterReplication",
+    "Replica",
+    "ReplicationPolicy",
+    "StoreEntry",
+    "StoreFullError",
+    "TransferManager",
+    "campaign_data_config",
+    "content_digest",
+    "make_eviction",
+    "make_replication_policy",
+    "policy_keeps_results",
+]
+
+#: Campaign-level ``--data-policy`` values and the manager configuration
+#: each one deploys.  ``None``/missing means "no data grid at all" — the
+#: deployment is wired exactly as before this subsystem existed.
+DATA_POLICIES = ("volatile", "persistent", "replicated", "broadcast")
+
+
+def campaign_data_config(policy: Optional[str]) -> Optional[DataManagerConfig]:
+    """Map a campaign ``--data-policy`` name to a manager config.
+
+    ``"volatile"`` wires the grid but keeps every argument volatile — the
+    determinism control arm: all bookkeeping attached, zero behaviour
+    change.
+    """
+    if policy is None:
+        return None
+    if policy in ("volatile", "persistent"):
+        return DataManagerConfig()
+    if policy == "replicated":
+        return DataManagerConfig(replication="per-cluster")
+    if policy == "broadcast":
+        return DataManagerConfig(replication="eager-broadcast")
+    raise ValueError(f"unknown data policy {policy!r}; known: "
+                     f"{DATA_POLICIES}")
+
+
+def policy_keeps_results(policy: Optional[str]) -> bool:
+    """Does this campaign policy persist zoom2 result tarballs on SeDs?"""
+    return policy in ("persistent", "replicated", "broadcast")

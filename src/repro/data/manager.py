@@ -1,0 +1,377 @@
+"""Per-SeD data managers and the grid-wide DataGrid that connects them.
+
+This is the DTM/DAGDA substitute: every SeD owns a :class:`DataManager`
+(standalone by default — byte-for-byte the legacy ``data_store`` dict
+behaviour).  Deployments that opt in build one :class:`DataGrid` and
+``attach()`` each manager to it, which upgrades the manager in place with
+a capacity-bounded store, the hierarchical replica catalog, pull
+transfers, and a replication policy.
+
+Everything here that is not an explicit transfer is synchronous
+bookkeeping: attaching the grid, registering replicas, and counting stats
+schedule **zero** events, so a campaign whose arguments are all volatile
+replays the exact recorded kernel event stream of a grid-less deployment
+(pinned by the determinism suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator, Iterable, List, Optional
+
+from ..core.data import DataHandle, HANDLE_WIRE_BYTES, PersistenceMode
+from ..core.exceptions import CommunicationError, DataError
+from ..sim.engine import Event
+from .catalog import CatalogNode, Replica
+from .policy import NoReplication, ReplicationPolicy, make_replication_policy
+from .store import DataStore, StoreFullError, content_digest, make_eviction
+from .transfer import TransferManager
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..core.sed import SeD
+    from ..platform.nfs import NfsVolume
+    from ..sim.network import Network
+
+__all__ = ["DataManagerConfig", "DataGridStats", "DataManager", "DataGrid"]
+
+_PINNED_MODES = (PersistenceMode.STICKY, PersistenceMode.STICKY_RETURN)
+
+
+@dataclass(frozen=True)
+class DataManagerConfig:
+    """Per-SeD data-manager knobs, applied by :meth:`DataGrid.attach`."""
+
+    #: Store capacity in bytes (None = unbounded, the DAGDA default when
+    #: no memory limit is configured).
+    capacity_bytes: Optional[float] = None
+    #: Eviction policy name ("lru" or "cost").
+    eviction: str = "lru"
+    #: Replication policy name ("none", "per-cluster", "eager-broadcast").
+    replication: str = "none"
+    #: Serve cluster-local replicas through the shared NFS volume instead
+    #: of SeD-to-SeD transfers.
+    nfs_fastpath: bool = True
+
+
+@dataclass
+class DataGridStats:
+    """Plain-int data traffic accounting (picklable, works with obs off)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    coalesced: int = 0
+    replicas: int = 0
+    dedup: int = 0
+    #: Bytes pulled SeD-to-SeD (including eager replication pushes).
+    bytes_moved: int = 0
+    #: Bytes served through a cluster-local NFS fast path.
+    bytes_nfs: int = 0
+    #: Bytes that did *not* travel thanks to cache hits, handle replies,
+    #: coalesced pulls, and content dedup.
+    bytes_saved: int = 0
+    checkpoint_pulls: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class DataManager:
+    """The DAGDA agent of one SeD.
+
+    Standalone (no grid) it reproduces the legacy DTM behaviour exactly:
+    unbounded store, owner-or-origin handle resolution over ``fetch_data``.
+    :meth:`join_grid` upgrades it in place.
+    """
+
+    def __init__(self, sed: "SeD"):
+        self.sed = sed
+        self.engine = sed.engine
+        self.store = DataStore()
+        self.grid: Optional["DataGrid"] = None
+        self.catalog: Optional[CatalogNode] = None
+        #: Endpoint name of the parent LA's catalog ("dm_locate" target).
+        self.parent: Optional[str] = None
+        self.replication: ReplicationPolicy = NoReplication()
+        self.nfs_fastpath = True
+        self.stats = DataGridStats()
+        self.transfers = TransferManager(self)
+        #: Checkpoint registrations survive a crash of this SeD: the bytes
+        #: live on the cluster NFS volume, not in the SeD process.
+        self._checkpoints: Dict[str, Replica] = {}
+
+    @property
+    def obs(self):
+        return self.sed.tracer.obs
+
+    def join_grid(self, grid: "DataGrid", catalog: CatalogNode,
+                  config: DataManagerConfig) -> None:
+        self.grid = grid
+        self.catalog = catalog
+        self.parent = self.sed.parent
+        self.store = DataStore(capacity_bytes=config.capacity_bytes,
+                               eviction=make_eviction(config.eviction))
+        self.replication = make_replication_policy(config.replication)
+        self.nfs_fastpath = config.nfs_fastpath
+        self.stats = grid.stats
+
+    # -- store side ---------------------------------------------------------------
+
+    def put(self, data_id: str, value: Any, nbytes: int,
+            mode: PersistenceMode) -> str:
+        """Keep a server copy of a produced argument; returns the canonical
+        data id (an existing one when content dedup aliases the value)."""
+        now = self.engine.now
+        pinned = mode in _PINNED_MODES
+        digest = content_digest(value)
+        existing = self.store.find_digest(digest)
+        if existing is not None and existing != data_id:
+            entry = self.store.entry(existing)
+            entry.last_used = now
+            entry.pinned = entry.pinned or pinned
+            self.stats.dedup += 1
+            self.stats.bytes_saved += nbytes
+            return existing
+        # Own produced data is irreplaceable (no other copy exists yet):
+        # infinite refetch cost keeps cost-aware eviction away from it while
+        # cheap replicas remain.
+        evicted = self.store.put(data_id, value, nbytes, now=now,
+                                 pinned=pinned, cost=float("inf"),
+                                 digest=digest)
+        for entry in evicted:
+            self._unregister(entry.data_id)
+            self.stats.evictions += 1
+        self._register(data_id, nbytes)
+        self.replication.on_store(self, data_id, nbytes)
+        return data_id
+
+    def admit_replica(self, data_id: str, value: Any, nbytes: int) -> bool:
+        """Best-effort: keep a fetched copy and advertise it."""
+        now = self.engine.now
+        entry = self.store.entry(data_id)
+        if entry is not None:
+            entry.last_used = now
+            return True
+        try:
+            evicted = self.store.put(data_id, value, nbytes, now=now,
+                                     pinned=False, cost=0.0,
+                                     digest=content_digest(value))
+        except StoreFullError:
+            return False
+        for old in evicted:
+            self._unregister(old.data_id)
+            self.stats.evictions += 1
+        self._register(data_id, nbytes)
+        self.stats.replicas += 1
+        return True
+
+    def _register(self, data_id: str, nbytes: int) -> None:
+        if self.catalog is not None:
+            # Advertise the cluster volume the bytes live on (§4.1: solves
+            # write their outputs to the cluster NFS working directory), so
+            # same-volume consumers can take the NFS fast path.
+            volume = self.sed.nfs.name if self.sed.nfs is not None else ""
+            self.catalog.register(Replica(
+                data_id=data_id, sed_name=self.sed.name,
+                host_name=self.sed.host.name, nbytes=nbytes, volume=volume))
+
+    def _unregister(self, data_id: str) -> None:
+        if self.catalog is not None:
+            self.catalog.unregister(data_id, self.sed.name)
+
+    def note_reply_handle(self, nbytes: int) -> None:
+        """A reply shipped a 64-byte handle instead of ``nbytes`` of data."""
+        self.stats.bytes_saved += max(0, nbytes - HANDLE_WIRE_BYTES)
+
+    # -- wire side ----------------------------------------------------------------
+
+    def serve(self, data_id: str) -> tuple:
+        """Look up a datum for a peer fetch; raises :class:`DataError` on a
+        miss or a pinned (STICKY — never moves) entry."""
+        entry = self.store.entry(data_id)
+        if entry is None:
+            raise DataError(f"no persistent data {data_id!r} on {self.sed.name}")
+        if entry.pinned:
+            raise DataError(f"data {data_id!r} is sticky on {self.sed.name}")
+        entry.last_used = self.engine.now
+        return entry.value, entry.nbytes
+
+    def resolve(self, handle: DataHandle) -> Generator[Event, Any, Any]:
+        """Materialize a handle on this SeD ("Data downloading")."""
+        entry = self.store.entry(handle.data_id)
+        if entry is not None:
+            entry.last_used = self.engine.now
+            self.stats.hits += 1
+            self.stats.bytes_saved += entry.nbytes
+            return entry.value
+        self.stats.misses += 1
+        if self.grid is None:
+            # Legacy DTM path: the handle names its owner; anything else is
+            # one origin fetch away.
+            if handle.sed_name == self.sed.name:
+                raise DataError(f"stale handle {handle.data_id!r}")
+            value = yield from self.sed.endpoint.rpc(
+                handle.sed_name, "fetch_data", handle.data_id)
+            return value
+        value = yield from self.transfers.pull(handle)
+        return value
+
+    # -- checkpoints --------------------------------------------------------------
+
+    def register_checkpoint(self, path: str, nbytes: int,
+                            volume: "NfsVolume") -> None:
+        """Advertise an NFS-resident checkpoint dump through the catalog."""
+        replica = Replica(data_id=f"ckpt:{path}", sed_name=self.sed.name,
+                          host_name=self.sed.host.name, nbytes=nbytes,
+                          volume=volume.name)
+        self._checkpoints[path] = replica
+        if self.catalog is not None:
+            self.catalog.register(replica)
+
+    def unregister_checkpoint(self, path: str) -> None:
+        replica = self._checkpoints.pop(path, None)
+        if replica is not None and self.catalog is not None:
+            self.catalog.unregister(replica.data_id, self.sed.name)
+
+    def pull_checkpoint(self, path: str) -> Generator[Event, Any, bool]:
+        """Stage a remote cluster's checkpoint dump onto the local volume.
+
+        The §4.1 resume gate required the dump on *this* cluster's NFS; with
+        the catalog a restarted job can locate the dump wherever it was
+        written, stream it volume-to-volume, and resume.  Returns True when
+        ``path`` now exists locally.
+        """
+        if (self.grid is None or self.parent is None
+                or self.sed.nfs is None):
+            return False
+        data_id = f"ckpt:{path}"
+        try:
+            raw = yield from self.sed.endpoint.rpc(
+                self.parent, "dm_locate", data_id)
+        except CommunicationError:
+            return False
+        remote = [r for r in raw
+                  if r.volume and r.volume != self.sed.nfs.name]
+        if not remote:
+            return False
+        source = min(remote, key=lambda r: r.sed_name)
+        volume = self.grid.volumes.get(source.volume)
+        if volume is None or not volume.exists(path):
+            return False
+        hosts = volume.mounts()
+        if not hosts:
+            return False
+        src_host = hosts[0]
+        try:
+            nbytes = yield from volume.read(src_host, path)
+            yield from self.sed.fabric.network.transfer(
+                src_host, self.sed.host.name, nbytes)
+            yield from self.sed.nfs.write(self.sed.host.name, path, nbytes)
+        except Exception:
+            return False
+        self.stats.checkpoint_pulls += 1
+        self.stats.bytes_moved += nbytes
+        self.register_checkpoint(path, nbytes, self.sed.nfs)
+        return True
+
+    # -- failure model ------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Volatile state dies with the process; NFS checkpoints survive."""
+        if self.catalog is not None:
+            for data_id in self.store.data_ids():
+                self.catalog.unregister(data_id, self.sed.name)
+        self.store.clear()
+
+
+class DataGrid:
+    """The deployment-wide data fabric: catalog root + all managers."""
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self.engine = network.engine
+        self.root = CatalogNode("MA")
+        self._nodes: Dict[str, CatalogNode] = {}
+        self.managers: Dict[str, DataManager] = {}
+        self.volumes: Dict[str, "NfsVolume"] = {}
+        self.stats = DataGridStats()
+
+    def node(self, name: str) -> CatalogNode:
+        """The catalog node of one LA (created on first use)."""
+        existing = self._nodes.get(name)
+        if existing is None:
+            existing = self._nodes[name] = CatalogNode(name, parent=self.root)
+        return existing
+
+    def attach(self, sed: "SeD", node: CatalogNode,
+               config: DataManagerConfig) -> DataManager:
+        sed.data_manager.join_grid(self, node, config)
+        self.managers[sed.name] = sed.data_manager
+        return sed.data_manager
+
+    # -- scheduling hook ----------------------------------------------------------
+
+    def transfer_cost(self, handles: Iterable[DataHandle],
+                      candidates: Iterable[str]) -> Dict[str, float]:
+        """Estimated seconds each candidate SeD would spend pulling the
+        non-resident handles — the data-locality term MCT adds to its
+        completion estimate.  Pure computation over the analytic
+        ``transfer_time`` model; no events."""
+        costs = {name: 0.0 for name in candidates}
+        for handle in handles:
+            replicas = self.root.locate(handle.data_id)
+            for name in costs:
+                mgr = self.managers.get(name)
+                if mgr is None:
+                    continue
+                if handle.data_id in mgr.store:
+                    continue  # resident: free
+                dst = mgr.sed.host.name
+                options = [
+                    0.0 if r.host_name == dst else
+                    self.network.transfer_time(r.host_name, dst,
+                                               r.nbytes or handle.nbytes)
+                    for r in replicas]
+                if not options:
+                    origin = self.managers.get(handle.sed_name)
+                    src = origin.sed.host.name if origin else handle.sed_name
+                    options = [self.network.transfer_time(
+                        src, dst, handle.nbytes)]
+                costs[name] += min(options)
+        return costs
+
+    # -- replication mechanics ----------------------------------------------------
+
+    def sibling_targets(self, owner: DataManager) -> List[DataManager]:
+        """The first (by name) other SeD in the owner's own cluster, if any
+        — the per-cluster policy's intra-cluster redundancy target."""
+        for name in sorted(self.managers):
+            mgr = self.managers[name]
+            if mgr is not owner and mgr.sed.cluster == owner.sed.cluster:
+                return [mgr]
+        return []
+
+    def broadcast_targets(self, owner: DataManager) -> List[DataManager]:
+        """One SeD (first by name) per cluster other than the owner's."""
+        by_cluster: Dict[str, DataManager] = {}
+        for name in sorted(self.managers):
+            mgr = self.managers[name]
+            cluster = mgr.sed.cluster
+            if cluster == owner.sed.cluster:
+                continue
+            by_cluster.setdefault(cluster, mgr)
+        return [by_cluster[c] for c in sorted(by_cluster)]
+
+    def spawn_replication(self, owner: DataManager, target: DataManager,
+                          data_id: str, nbytes: int) -> None:
+        """Background best-effort push of one replica (policy-initiated)."""
+        def _replicate() -> Generator[Event, Any, None]:
+            try:
+                value = yield from target.sed.endpoint.rpc(
+                    owner.sed.name, "dm_fetch", data_id)
+            except Exception:
+                return  # owner gone or data evicted meanwhile: never fatal
+            self.stats.bytes_moved += nbytes
+            target.admit_replica(data_id, value, nbytes)
+        self.engine.process(
+            _replicate(), name=f"replicate:{data_id}->{target.sed.name}")

@@ -3,6 +3,7 @@ Figure 2/3 scientific analogues).  See DESIGN.md's experiment index."""
 
 from . import (
     ablation_scheduler,
+    data_locality,
     degraded_campaign,
     figure1_architecture,
     figure2_density,
@@ -22,6 +23,7 @@ __all__ = [
     "ascii_gantt",
     "ascii_series",
     "ascii_table",
+    "data_locality",
     "degraded_campaign",
     "figure2_density",
     "figure3_zoom",

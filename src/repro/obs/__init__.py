@@ -83,6 +83,30 @@ class Observability:
             acct.replies_suppressed, t
         )
 
+    def collect_network(self, network: Any, t: float) -> None:
+        """Snapshot the network's byte counters (total and WAN-crossing).
+
+        Like :meth:`collect_transport`, the per-transfer counting lives in
+        :class:`~repro.sim.network.Network` itself (plain integer adds on
+        the transfer path); this folds the totals into the registry.
+        """
+        if not self.enabled:
+            return
+        self.metrics.counter("network.bytes_total").inc(network.bytes_total, t)
+        self.metrics.counter("network.bytes_wan").inc(network.bytes_wan, t)
+
+    def collect_data(self, grid: Any, t: float) -> None:
+        """Snapshot a :class:`~repro.data.manager.DataGrid`'s counters.
+
+        Hits/misses, bytes moved vs saved, evictions, replica and
+        coalescing counts all land as ``data.*`` counters beside the
+        transfer spans the managers record live.
+        """
+        if not self.enabled:
+            return
+        for name, value in sorted(grid.stats.as_dict().items()):
+            self.metrics.counter(f"data.{name}").inc(value, t)
+
 
 #: The shared disabled instance every component defaults to.  Emission
 #: sites guard on ``obs.enabled``, so nothing is ever recorded into it.

@@ -161,7 +161,8 @@ def build_grid5000(engine: Engine,
         if site is None:
             router = network.add_host(Host(engine, f"{spec.site}-router"))
             network.connect(router.name, core.name,
-                            Link(engine, f"wan-{spec.site}", spec.wan_latency, _SITE_UPLINK_BW))
+                            Link(engine, f"wan-{spec.site}", spec.wan_latency,
+                                 _SITE_UPLINK_BW, wan=True))
             site = Site(spec.site, router)
             sites[spec.site] = site
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-from ..core.data import FileRef
+from ..core.data import FileRef, PersistenceMode, file_desc
 from ..core.profile import Profile
 from ..ramses.namelist import format_namelist
 from .ramses_service import (
@@ -64,10 +64,22 @@ def build_zoom1_profile(namelist_text: str, resolution: int,
 
 def build_zoom2_profile(namelist_text: str, resolution: int,
                         boxsize_mpc_h: int, center: Sequence[float],
-                        n_levels: int) -> Profile:
-    """Allocate + fill the paper's ramsesZoom2 profile (§4.3.2 listing)."""
+                        n_levels: int,
+                        result_persistence: Optional[PersistenceMode] = None
+                        ) -> Profile:
+    """Allocate + fill the paper's ramsesZoom2 profile (§4.3.2 listing).
+
+    ``result_persistence`` overrides the OUT tarball's persistence mode
+    (e.g. ``DIET_PERSISTENT`` keeps the result on the producing SeD and the
+    client receives a :class:`~repro.core.data.DataHandle` instead of the
+    bytes).  Service matching ignores persistence, so the same registered
+    service solves both variants.
+    """
     cx, cy, cz = encode_center(center)
-    profile = zoom2_profile_desc().instantiate()
+    desc = zoom2_profile_desc()
+    if result_persistence is not None:
+        desc.set_arg(7, file_desc(result_persistence))
+    profile = desc.instantiate()
     profile.parameter(0).set(FileRef.from_text("namelist.nml", namelist_text))
     profile.parameter(1).set(int(resolution))
     profile.parameter(2).set(int(boxsize_mpc_h))
@@ -82,10 +94,15 @@ def build_zoom2_profile(namelist_text: str, resolution: int,
 
 @dataclass
 class Zoom2Result:
-    """Decoded OUT arguments of one ramsesZoom2 call."""
+    """Decoded OUT arguments of one ramsesZoom2 call.
+
+    ``tarball`` is a :class:`FileRef` for volatile results, or a
+    :class:`~repro.core.data.DataHandle` when the profile asked for a
+    persistent (non-RETURN) result — the bytes then stayed on the SeD.
+    """
 
     error: int
-    tarball: Optional[FileRef]
+    tarball: Optional[object]
 
     @property
     def succeeded(self) -> bool:

@@ -23,9 +23,11 @@ import numpy as np
 
 from ..core.agent import AgentParams
 from ..core.client import AsyncRequest
+from ..core.data import PersistenceMode
 from ..core.deployment import Deployment, deploy_paper_hierarchy
 from ..core.scheduling import SchedulerPolicy, make_policy
 from ..core.statistics import RequestTrace
+from ..data import campaign_data_config, policy_keeps_results
 from ..obs import Observability, SpanStore
 from ..platform.grid5000 import ClusterSpec, build_grid5000
 from ..sim.engine import Engine
@@ -136,6 +138,13 @@ class CampaignConfig:
     #: bit-identical either way (the determinism suite pins both settings);
     #: False skips even that bookkeeping for benchmark runs.
     observe: bool = True
+    #: DAGDA-style data management policy (see repro.data.DATA_POLICIES):
+    #: None keeps the deployment exactly as before the data subsystem
+    #: existed; "volatile" wires the data grid but every argument still
+    #: travels by value; "persistent" keeps zoom2 tarballs on the producing
+    #: SeD (the client gets a handle); "replicated"/"broadcast" add replica
+    #: creation on top of persistence.
+    data_policy: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -191,6 +200,14 @@ class CampaignResult:
     zoom_centers: List[Tuple[float, float, float]]
     #: Populated when the campaign ran with a FailurePlan.
     failure_report: Optional[FailureReport] = None
+    #: Total application bytes that entered the network, and the subset
+    #: that crossed a WAN (site-uplink) link — the e12 ablation's currency.
+    net_bytes_total: int = 0
+    net_bytes_wan: int = 0
+    #: Snapshot of the data grid's counters (hits, misses, bytes moved /
+    #: saved, evictions, ...); None when the campaign ran without a data
+    #: policy.  A plain dict so detached results stay picklable.
+    data_report: Optional[Dict[str, int]] = None
 
     # -- §5.2 headline numbers ---------------------------------------------------------
 
@@ -423,8 +440,12 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
             heartbeat_timeout=plan.heartbeat_timeout,
             heartbeat_miss_threshold=plan.heartbeat_miss_threshold)
     obs = Observability(enabled=config.observe)
+    # None -> the pre-data-subsystem deployment, byte for byte.
+    data_config = campaign_data_config(config.data_policy)
+    keep_results = policy_keeps_results(config.data_policy)
     deployment = deploy_paper_hierarchy(platform, policy=policy,
-                                        agent_params=agent_params, obs=obs)
+                                        agent_params=agent_params, obs=obs,
+                                        data=data_config)
 
     workdir = config.workdir
     cleanup_dir = None
@@ -436,7 +457,11 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
         workdir=workdir, real_n_steps=config.real_n_steps,
         real_a_end=config.real_a_end, seed=config.seed,
         checkpoint_interval_work=(
-            plan.checkpoint_interval_work if plan is not None else None))
+            plan.checkpoint_interval_work if plan is not None else None),
+        # Degraded campaigns under a persistence-keeping policy publish
+        # checkpoints to the replica catalog so a resumed attempt on another
+        # cluster can pull them across the WAN instead of restarting.
+        checkpoint_catalog=(plan is not None and keep_results))
     service = register_ramses_services(deployment, service_config,
                                        with_predictor=config.with_predictor)
     deployment.launch_all()
@@ -516,9 +541,11 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
         # ---- part 2: the simultaneous sub-simulations ------------------------------
         requests: List[AsyncRequest] = []
         for center in centers:
-            profile = build_zoom2_profile(namelist, config.resolution,
-                                          config.boxsize_mpc_h, center,
-                                          config.n_zoom_levels)
+            profile = build_zoom2_profile(
+                namelist, config.resolution, config.boxsize_mpc_h, center,
+                config.n_zoom_levels,
+                result_persistence=(PersistenceMode.PERSISTENT
+                                    if keep_results else None))
             part2_profiles.append(profile)
             if plan is not None:
                 requests.append(client.call_async(
@@ -544,6 +571,9 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     # "lost"), then fold the transport counters into the metrics registry.
     obs.finalize(engine.now)
     obs.collect_transport(deployment.fabric, engine.now)
+    obs.collect_network(platform.network, engine.now)
+    if deployment.data_grid is not None:
+        obs.collect_data(deployment.data_grid, engine.now)
 
     # Collect traces: part 1 is the first trace, part 2 the rest.  Under a
     # FailurePlan a resubmitted call leaves one trace per attempt; the
@@ -577,11 +607,17 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
             restarts_from_scratch=stats.restarts_from_scratch,
             deregistrations=deregs,
             recoveries=recoveries)
+    data_report = None
+    if deployment.data_grid is not None:
+        data_report = deployment.data_grid.stats.as_dict()
     return CampaignResult(config=config, deployment=deployment,
                           part1_trace=part1_trace, part2_traces=part2_traces,
                           statuses=statuses,
                           zoom_centers=list(outcome.get("centers", [])),
-                          failure_report=failure_report)
+                          failure_report=failure_report,
+                          net_bytes_total=platform.network.bytes_total,
+                          net_bytes_wan=platform.network.bytes_wan,
+                          data_report=data_report)
 
 
 def run_campaign_detached(config: Optional[CampaignConfig] = None) -> CampaignResult:

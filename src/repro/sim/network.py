@@ -79,7 +79,8 @@ class Link:
     _uids = itertools.count()
 
     def __init__(self, engine: Engine, name: str, latency: float,
-                 bandwidth: float, shared: bool = False, max_concurrent: int = 1):
+                 bandwidth: float, shared: bool = False, max_concurrent: int = 1,
+                 wan: bool = False):
         if latency < 0:
             raise ValueError("latency must be non-negative")
         if bandwidth <= 0:
@@ -89,6 +90,9 @@ class Link:
         self.latency = float(latency)
         self.bandwidth = float(bandwidth)
         self.shared = shared
+        #: Wide-area link (site uplink): transfers crossing it count toward
+        #: :attr:`Network.bytes_wan`, the quantity data placement minimizes.
+        self.wan = wan
         self._uid = next(Link._uids)
         self._slot = Resource(engine, capacity=max_concurrent) if shared else None
 
@@ -106,10 +110,14 @@ class Network:
         self._adj: Dict[str, List[Tuple[str, Link]]] = {}
         self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
         #: Per-pair derived route metrics: (latency_sum, bottleneck_bw,
-        #: shared_links_in_lock_order).  Lets transfer_time() and transfer()
-        #: skip the per-call sum/min/sort on the RPC hot path.
+        #: shared_links_in_lock_order, crosses_wan).  Lets transfer_time()
+        #: and transfer() skip the per-call sum/min/sort on the RPC hot path.
         self._route_info: Dict[Tuple[str, str],
-                               Tuple[float, float, Tuple[Link, ...]]] = {}
+                               Tuple[float, float, Tuple[Link, ...], bool]] = {}
+        #: Plain traffic totals (no events, no obs dependency): every byte
+        #: moved by :meth:`transfer`, and the subset that crossed a WAN link.
+        self.bytes_total = 0
+        self.bytes_wan = 0
 
     # -- topology construction ------------------------------------------------
 
@@ -209,8 +217,9 @@ class Network:
             self._expand_source(name)
         return len(self._route_cache)
 
-    def _route_metrics(self, src: str, dst: str) -> Tuple[float, float, Tuple[Link, ...]]:
-        """Cached ``(latency_sum, bottleneck_bw, shared_links)`` per pair.
+    def _route_metrics(self, src: str, dst: str) -> Tuple[float, float, Tuple[Link, ...], bool]:
+        """Cached ``(latency_sum, bottleneck_bw, shared_links, crosses_wan)``
+        per pair.
 
         ``shared_links`` is deduped and sorted by ``Link._uid`` — the global
         lock order :meth:`transfer` acquires slots in.  ``bottleneck_bw`` is
@@ -226,9 +235,10 @@ class Network:
                         shared[link._uid] = link
                 info = (sum(l.latency for l in links),
                         min(l.bandwidth for l in links),
-                        tuple(shared[uid] for uid in sorted(shared)))
+                        tuple(shared[uid] for uid in sorted(shared)),
+                        any(l.wan for l in links))
             else:
-                info = (0.0, 0.0, ())
+                info = (0.0, 0.0, (), False)
             self._route_info[(src, dst)] = info
         return info
 
@@ -246,7 +256,7 @@ class Network:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        latency, bottleneck, _ = self._route_metrics(src, dst)
+        latency, bottleneck, _, _ = self._route_metrics(src, dst)
         if bottleneck == 0.0:  # empty self-route
             return 0.0
         return latency + nbytes / bottleneck
@@ -266,9 +276,12 @@ class Network:
         contended — see the contract there).
         """
         start = self.engine.now
-        latency, bottleneck, shared = self._route_metrics(src, dst)
+        latency, bottleneck, shared, wan = self._route_metrics(src, dst)
         if bottleneck == 0.0:  # empty self-route
             return 0.0
+        self.bytes_total += nbytes
+        if wan:
+            self.bytes_wan += nbytes
         if not shared:
             # Fast path: no shared link on the route, so the duration is the
             # analytic one — a single timeout, no slot bookkeeping.

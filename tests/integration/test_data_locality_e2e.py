@@ -1,0 +1,77 @@
+"""E12 end to end: the data-locality ablation's acceptance properties.
+
+Persistent campaigns must move strictly fewer WAN bytes than volatile ones
+while producing bit-identical figure-4/figure-5 series, and the parallel
+runner must reproduce the serial results byte for byte.
+"""
+
+import pytest
+
+from repro.experiments import data_locality
+from repro.services import CampaignConfig, FailurePlan, run_campaign
+
+N_SUB = 12
+
+
+def fingerprint(result):
+    """Everything e12 reports about one campaign arm."""
+    return (
+        result.total_elapsed,
+        tuple(result.statuses),
+        result.net_bytes_total,
+        result.net_bytes_wan,
+        tuple(sorted(result.data_report.items())) if result.data_report
+        else None,
+        tuple(sorted(result.requests_per_sed().items())),
+        tuple(result.finding_times()),
+        tuple(sorted(result.busy_time_per_sed().items())),
+    )
+
+
+class TestDataLocalityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return data_locality.run(policies=("volatile", "persistent"),
+                                 n_sub_simulations=N_SUB)
+
+    def test_persistent_moves_strictly_fewer_wan_bytes(self, result):
+        volatile = result.campaigns["volatile"]
+        persistent = result.campaigns["persistent"]
+        assert persistent.net_bytes_wan < volatile.net_bytes_wan
+        assert persistent.net_bytes_total < volatile.net_bytes_total
+        assert result.wan_saved("persistent") > 0
+
+    def test_figures_are_bit_identical_across_arms(self, result):
+        assert result.figures_identical
+        assert result.figure_series("persistent") == \
+            result.figure_series("volatile")
+
+    def test_persistent_arm_reports_data_savings(self, result):
+        report = result.campaigns["persistent"].data_report
+        assert report is not None
+        assert report["bytes_saved"] > 0
+
+    def test_parallel_run_is_byte_identical_to_serial(self, result):
+        again = data_locality.run(policies=("volatile", "persistent"),
+                                  n_sub_simulations=N_SUB, jobs=2)
+        for policy in ("volatile", "persistent"):
+            assert fingerprint(again.campaigns[policy]) == \
+                fingerprint(result.campaigns[policy])
+
+    def test_render_mentions_every_arm(self, result):
+        text = data_locality.render(result)
+        assert "volatile" in text and "persistent" in text
+        assert "WAN" in text
+
+
+class TestDegradedCampaignWithCatalog:
+    def test_checkpoint_resume_completes_under_persistence(self):
+        """A degraded campaign with the data grid on still finishes every
+        zoom; checkpoints are registered as persistent handles."""
+        result = run_campaign(CampaignConfig(
+            n_sub_simulations=30, seed=2007, data_policy="persistent",
+            failures=FailurePlan(n_crashes=1)))
+        assert all(s == 0 for s in result.statuses)
+        assert len(result.completed_part2_traces) == 30
+        assert result.data_report is not None
+        assert result.failure_report.checkpoints_written > 0

@@ -15,7 +15,7 @@ from repro.core import (
     file_desc,
     scalar_desc,
 )
-from repro.core.data import ArgDesc
+from repro.core.data import HANDLE_WIRE_BYTES, ArgDesc
 
 
 def ramses_zoom2_desc():
@@ -111,12 +111,16 @@ class TestProfile:
         profile.parameter(8).set(0)
         assert profile.response_nbytes() == 5_000_000 + 4
 
-    def test_persistent_out_does_not_return(self):
+    def test_persistent_out_returns_only_the_handle(self):
         desc = ProfileDesc("svc", -1, -1, 0)
         desc.set_arg(0, ArgDesc(persistence=PersistenceMode.PERSISTENT))
         profile = desc.instantiate()
-        profile.parameter(0).set(5)
+        # Declared but unset: nothing on the wire yet.
         assert profile.response_nbytes() == 0
+        # Produced: the value stays on the SeD, the reply carries exactly
+        # one fixed-size reference — never the value's bytes.
+        profile.parameter(0).set(5)
+        assert profile.response_nbytes() == HANDLE_WIRE_BYTES
 
     def test_validate_for_submit_reports_argument_index(self):
         profile = ramses_zoom2_desc().instantiate()

@@ -171,11 +171,12 @@ class TestRouteCache:
 
     def test_route_metrics_match_route(self, engine):
         net = star(engine, latency=0.01, bw=1e6)
-        latency, bottleneck, shared = net._route_metrics("leaf0", "leaf2")
+        latency, bottleneck, shared, wan = net._route_metrics("leaf0", "leaf2")
         route = net.route("leaf0", "leaf2")
         assert latency == pytest.approx(sum(l.latency for l in route))
         assert bottleneck == min(l.bandwidth for l in route)
         assert shared == ()              # star links are not shared
+        assert wan is False              # no link was marked wan=True
 
     def test_route_metrics_shared_links_in_lock_order(self, engine):
         net = Network(engine)
@@ -187,13 +188,13 @@ class TestRouteCache:
         ab = Link(engine, "ab", 0.001, 1e6, shared=True)
         net.connect("b", "c", bc)
         net.connect("a", "b", ab)
-        _, _, shared = net._route_metrics("a", "c")
+        _, _, shared, _ = net._route_metrics("a", "c")
         assert [l.name for l in shared] == ["bc", "ab"]
         assert [l._uid for l in shared] == sorted(l._uid for l in shared)
 
     def test_self_route_metrics_sentinel(self, engine):
         net = star(engine)
-        assert net._route_metrics("hub", "hub") == (0.0, 0.0, ())
+        assert net._route_metrics("hub", "hub") == (0.0, 0.0, (), False)
 
 
 class TestTransfers:
