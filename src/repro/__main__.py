@@ -58,6 +58,9 @@ _EXPERIMENTS: Dict[str, Tuple[str, Callable[..., Any], Callable[[Any], str]]] = 
     "ablation": ("E7: plug-in scheduler ablation",
                  lambda args: ablation_scheduler.run(jobs=args.jobs),
                  ablation_scheduler.render),
+    "routing": ("E7b: pull vs push estimate routing at growing widths",
+                lambda args: ablation_scheduler.run_routing(jobs=args.jobs),
+                ablation_scheduler.render_routing),
     "figure2": ("E8: projected density through cosmic time (real run)",
                 lambda args: figure2_density.run(), figure2_density.render),
     "figure3": ("E9: zoom re-simulation of a halo (real run)",
@@ -76,7 +79,7 @@ _EXPERIMENTS: Dict[str, Tuple[str, Callable[..., Any], Callable[[Any], str]]] = 
 }
 
 #: Experiments that sweep independent runs and accept ``--jobs``.
-_PARALLEL = ("ablation", "scaling", "degraded", "data-locality")
+_PARALLEL = ("ablation", "routing", "scaling", "degraded", "data-locality")
 
 
 def _campaigns_of(result: Any) -> List[Any]:
@@ -165,11 +168,13 @@ def _run_campaign(args) -> Tuple[str, Any]:
 
     config = CampaignConfig(n_sub_simulations=args.n_sub, policy=args.policy,
                             with_predictor=args.policy == "mct",
-                            seed=args.seed, data_policy=args.data_policy)
+                            seed=args.seed, data_policy=args.data_policy,
+                            routing=args.routing)
     result = run_campaign(config)
     lines = [
         f"campaign: {args.n_sub} zoom requests, policy={args.policy}, "
         f"seed={args.seed}"
+        + (f", routing={args.routing}" if args.routing != "pull" else "")
         + (f", data-policy={args.data_policy}" if args.data_policy else ""),
         f"  part 1:          {hms(result.part1_duration)}",
         f"  part 2 mean:     {hms(result.part2_mean_duration)}",
@@ -227,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["default", "mct", "min-queue", "fastest"],
                           help="scheduler policy")
     campaign.add_argument("--seed", type=int, default=2007)
+    campaign.add_argument("--routing", default="pull",
+                          choices=["pull", "push"],
+                          help="estimate flow: per-request pull fan-out "
+                               "(the paper's protocol, default) or push "
+                               "deltas into materialized top-k tables")
     campaign.add_argument("--data-policy", default=None,
                           choices=["volatile", "persistent", "replicated",
                                    "broadcast"],
@@ -247,7 +257,8 @@ def main(argv: Optional[list] = None) -> int:
         for name, (desc, _, _) in _EXPERIMENTS.items():
             print(f"  {name.ljust(width)} {desc}")
         print(f"  {'campaign'.ljust(width)} custom campaign "
-              "(--n-sub, --policy, --seed, --data-policy, --trace-csv)")
+              "(--n-sub, --policy, --seed, --routing, --data-policy, "
+              "--trace-csv)")
         return 0
     if args.command == "campaign":
         text, result = _run_campaign(args)

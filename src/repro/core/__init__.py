@@ -9,7 +9,8 @@ plug-in schedulers), :mod:`deployment` (GoDIET-like hierarchy builder) and
 :mod:`statistics` (LogService-like tracing behind Figures 4-5).
 """
 
-from .agent import AgentParams, LocalAgent, MasterAgent
+from .agent import ROUTING_MODES, AgentParams, LocalAgent, MasterAgent
+from .aggregation import AggregationTable, CandidateRow
 from .client import AsyncRequest, DietClient, FunctionHandle
 from .cori import CoRI
 from .data import (
@@ -56,6 +57,7 @@ from .pipeline import (
 )
 from .profile import Profile, ProfileDesc, ServiceTable
 from .requests import (
+    EstimateDelta,
     EstimateRequest,
     SolveReply,
     SolveRequest,
@@ -82,9 +84,11 @@ from .transport import Endpoint, Message, TransportFabric, TransportParams
 __all__ = [
     "AccountingInterceptor",
     "AgentParams",
+    "AggregationTable",
     "ArgDesc",
     "AsyncRequest",
     "BaseType",
+    "CandidateRow",
     "CommunicationError",
     "CompositeType",
     "CoRI",
@@ -100,6 +104,7 @@ __all__ = [
     "DietError",
     "Direction",
     "Endpoint",
+    "EstimateDelta",
     "EstimateRequest",
     "EstimationVector",
     "FastestNodePolicy",
@@ -127,6 +132,7 @@ __all__ = [
     "Profile",
     "ProfileDesc",
     "ProfileError",
+    "ROUTING_MODES",
     "RandomPolicy",
     "RequestTrace",
     "RpcPolicy",

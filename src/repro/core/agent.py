@@ -5,8 +5,22 @@ a client, agents collect computation abilities from servers (through the
 hierarchy) and chooses the best one according to some scheduling
 heuristics.  The MA sends back a reference to the chosen server."
 
-Both agent kinds forward estimation requests to their children in parallel
-and gather the responses; the Master Agent additionally owns the
+Two routing modes share this module (see DESIGN.md, "Scheduling
+architecture: pull vs push aggregation"):
+
+``pull`` (default, the paper's protocol)
+    every ``submit`` fans an estimation request down the tree and gathers
+    fresh vectors back up — O(tree) messages per request, faithful to the
+    measured 11-SeD deployment and kept byte-identical for the figures;
+
+``push`` (the scale path)
+    SeDs push estimate *deltas* upward on state changes; agents fold them
+    into materialized per-service top-k tables
+    (:mod:`repro.core.aggregation`) and forward only table *changes*; the
+    MA answers ``submit`` from its table, admitting requests in batches —
+    routing cost no longer depends on hierarchy size.
+
+In both modes the Master Agent owns the
 :class:`~repro.core.scheduling.SchedulerPolicy` that ranks candidates, the
 dispatch history used by the default policy, and the completion feedback
 consumed by history-based plug-in schedulers.
@@ -15,19 +29,31 @@ consumed by history-based plug-in schedulers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..sim.engine import Engine, Event
 from ..sim.network import Host
+from ..sim.resources import Store
+from .aggregation import AggregationTable
 from .exceptions import ServerNotFoundError
 from .liveness import HeartbeatConfig, HeartbeatMonitor
 from .pipeline import DeadlineInterceptor, TracingInterceptor
-from .requests import EstimateRequest, SubmitRequest
-from .scheduling import DefaultPolicy, EstimationVector, SchedulerPolicy, SchedulingContext
+from .requests import EstimateDelta, EstimateRequest, SubmitRequest
+from .scheduling import (
+    EST_NBJOBS,
+    EST_SPEED,
+    DefaultPolicy,
+    EstimationVector,
+    SchedulerPolicy,
+    SchedulingContext,
+)
 from .statistics import Tracer
 from .transport import Endpoint, TransportFabric
 
-__all__ = ["AgentParams", "LocalAgent", "MasterAgent"]
+__all__ = ["AgentParams", "LocalAgent", "MasterAgent", "ROUTING_MODES"]
+
+#: Valid values of the agents' ``routing`` switch.
+ROUTING_MODES = ("pull", "push")
 
 
 @dataclass(frozen=True)
@@ -58,6 +84,10 @@ class AgentParams:
     heartbeat_timeout: float = 2.0
     #: Consecutive misses before a child is deregistered.
     heartbeat_miss_threshold: int = 2
+    #: Push mode: most submits admitted per admission-loop wake-up.  The
+    #: loop pays one ``processing_time`` per batch, so a burst of
+    #: simultaneous requests costs one agent charge instead of one each.
+    admission_batch_max: int = 64
 
 
 class LocalAgent:
@@ -72,7 +102,12 @@ class LocalAgent:
     def __init__(self, fabric: TransportFabric, host: Host, name: str,
                  parent: Optional[str] = None,
                  params: Optional[AgentParams] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 routing: str = "pull"):
+        if routing not in ROUTING_MODES:
+            raise ValueError(f"routing must be one of {ROUTING_MODES}, "
+                             f"got {routing!r}")
+        self.routing = routing
         self.fabric = fabric
         self.engine: Engine = fabric.engine
         self.host = host
@@ -113,6 +148,13 @@ class LocalAgent:
         #: list of requests, the number of servers that can solve a given
         #: problem...", §2.1).
         self.request_count = 0
+        #: Push mode: the materialized per-service candidate tables fed by
+        #: ``est_delta`` messages from children (None in pull mode).
+        self.table: Optional[AggregationTable] = None
+        self._fwd_dirty = False
+        if routing == "push":
+            self.table = AggregationTable(top_k=self.params.aggregate_top_k)
+            self.endpoint.on("est_delta", self._handle_est_delta)
 
     def add_child(self, endpoint_name: str) -> None:
         if endpoint_name in self.children:
@@ -120,12 +162,19 @@ class LocalAgent:
         self.children.append(endpoint_name)
 
     def remove_child(self, endpoint_name: str) -> bool:
-        """Deregister a child (heartbeat death); True if it was attached."""
+        """Deregister a child (heartbeat death); True if it was attached.
+
+        Push mode additionally invalidates every table row that arrived
+        through the dead child and propagates the removals upward — the
+        table counterpart of pull mode's per-request subtree pruning.
+        """
         try:
             self.children.remove(endpoint_name)
         except ValueError:
             return False
         self.deregistrations.append(endpoint_name)
+        if self.table is not None and self.table.drop_via(endpoint_name):
+            self._on_table_change()
         return True
 
     def launch(self) -> None:
@@ -168,6 +217,52 @@ class LocalAgent:
                 self.parent, "dm_locate", data_id)
         return (list(replicas), 64 + 96 * len(replicas))
 
+    # -- push-mode delta ingest + upward forwarding ---------------------------------
+
+    def _handle_est_delta(self, msg) -> Generator[Event, Any, None]:
+        """Fold a child's estimate delta into the materialized tables."""
+        delta: EstimateDelta = msg.payload
+        if delta.source not in self.children:
+            # Late delta from a deregistered child: its rows were already
+            # invalidated; applying them would resurrect a dead candidate.
+            return
+        if self.table.apply_delta(delta):
+            self._on_table_change()
+        return
+        yield  # pragma: no cover - make this a generator function
+
+    def _on_table_change(self) -> None:
+        """React to table changes: interior agents cascade a diff upward
+        (the MA has no parent — its table is read directly by admission)."""
+        if self.parent is not None:
+            self._schedule_forward()
+
+    def _schedule_forward(self) -> None:
+        """Arm the (coalescing) forward pump; no-op while one is pending."""
+        if self._fwd_dirty or self.endpoint.closed:
+            return
+        self._fwd_dirty = True
+        self.engine.process(self._forward_pump(), name=f"fwd:{self.name}")
+
+    def _forward_pump(self) -> Generator[Event, Any, None]:
+        """One processing charge, then ship the accumulated table diff.
+
+        Deltas that land within the ``processing_time`` window ride the
+        same export, so a burst of child updates costs one upward message.
+        Sending is best-effort: a stopped parent is liveness's problem, not
+        the pump's.
+        """
+        yield self.engine.timeout(self.params.processing_time)
+        self._fwd_dirty = False
+        if self.endpoint.closed or self.parent is None:
+            return
+        updates, removals = self.table.export_diff()
+        if not updates and not removals:
+            return
+        delta = EstimateDelta(self.name, updates, removals)
+        yield from self.endpoint.try_send(self.parent, "est_delta", delta,
+                                          nbytes=delta.wire_bytes())
+
     # -- estimate fan-out ----------------------------------------------------------
 
     def _child_estimate(self, child: str, req: EstimateRequest
@@ -206,8 +301,6 @@ class LocalAgent:
         """
         if self.params.aggregate_top_k is None or not ests:
             return ests
-        from .scheduling import EST_NBJOBS, EST_SPEED
-
         ranked = sorted(ests, key=lambda e: (e.get(EST_NBJOBS, 0.0),
                                              -e.get(EST_SPEED, 0.0),
                                              e.sed_name))
@@ -230,12 +323,25 @@ class MasterAgent(LocalAgent):
                  policy: Optional[SchedulerPolicy] = None,
                  params: Optional[AgentParams] = None,
                  tracer: Optional[Tracer] = None,
-                 log_central: Optional[str] = None):
+                 log_central: Optional[str] = None,
+                 routing: str = "pull"):
         super().__init__(fabric, host, name, parent=None, params=params,
-                         tracer=tracer)
+                         tracer=tracer, routing=routing)
         self.log_central = log_central
         self.policy = policy or DefaultPolicy()
         self.ctx = SchedulingContext()
+        #: Requests refused because no candidate could serve them (mirrors
+        #: the ``scheduler.rejections`` obs counter, available without obs).
+        self.rejections = 0
+        #: Push mode: submits park here; the admission loop drains them in
+        #: batches against the materialized table.
+        self._admission: Optional[Store] = None
+        #: Submits with no candidates *yet* (cold start, a service whose
+        #: first SeD has not pushed): held until a table change rescues
+        #: them or their grace deadline rejects them.
+        self._parked: List[list] = []
+        if self.routing == "push":
+            self._admission = Store(self.engine)
         #: Data-locality pricing hook: ``fn(handles, candidate_names) ->
         #: {sed_name: seconds}`` (the deployment wires
         #: :meth:`repro.data.DataGrid.transfer_cost` here).  None when no
@@ -248,10 +354,14 @@ class MasterAgent(LocalAgent):
         self.endpoint.on("submit", self._handle_submit)
         self.endpoint.on("job_done", self._handle_job_done)
 
+    def launch(self) -> None:
+        super().launch()
+        if self._admission is not None:
+            self.engine.process(self._admission_loop(),
+                                name=f"admit:{self.name}")
+
     def _handle_submit(self, msg) -> Generator[Event, Any, tuple]:
         sub: SubmitRequest = msg.payload
-        req = EstimateRequest(sub.request_id, sub.service_desc,
-                              sub.client_host, sub.request_nbytes)
         obs = self.tracer.obs
         span = None
         if obs.enabled:
@@ -261,32 +371,144 @@ class MasterAgent(LocalAgent):
                 f"req:{sub.request_id}", "schedule", self.engine.now,
                 "schedule", request_id=sub.request_id, agent=self.name,
                 service=sub.service_desc.path)
-        candidates = yield from self._gather(req)
-        if not candidates:
+        if self._admission is not None:
+            # Push mode: no fan-out — queue on the batched admission loop,
+            # which answers from the materialized table.  The deadline
+            # bounds how long a submit may wait for its first candidate
+            # (cold start / unknown service) before rejection; it mirrors
+            # pull mode's per-child estimate deadline.
+            self.request_count += 1
+            done = Event(self.engine)
+            item = [sub, done, self.engine.now + self.params.child_timeout,
+                    False]
+            self._admission.put(item)
+            chosen, n_candidates = yield done
+        else:
+            req = EstimateRequest(sub.request_id, sub.service_desc,
+                                  sub.client_host, sub.request_nbytes)
+            candidates = yield from self._gather(req)
+            n_candidates = len(candidates)
+            chosen = self._admit(sub, candidates) if candidates else None
+        if chosen is None:
+            self.rejections += 1
+            now = self.engine.now
+            if obs.enabled:
+                obs.spans.end(span, now, status="rejected")
+                obs.metrics.counter("scheduler.rejections").inc(1, now)
+            self.tracing.emit(self.endpoint, "schedule-reject",
+                              request_id=sub.request_id,
+                              service=sub.service_desc.path)
             raise ServerNotFoundError(
                 f"no SeD can solve {sub.service_desc.path!r}")
-        self.ctx.now = self.engine.now
-        self.ctx.service = sub.service_desc.path
-        self.ctx.resident_bytes = sub.resident_bytes
-        if self.data_cost_fn is not None and sub.data_handles:
-            self.ctx.data_transfer_cost = self.data_cost_fn(
-                sub.data_handles, [c.sed_name for c in candidates])
-        else:
-            self.ctx.data_transfer_cost = {}
-        chosen = self.policy.choose(candidates, self.ctx)
-        assert chosen is not None
-        self.ctx.note_dispatch(chosen.sed_name)
         if span is not None:
             now = self.engine.now
             obs.spans.end(span, now, sed=chosen.sed_name,
-                          n_candidates=len(candidates))
+                          n_candidates=n_candidates)
             obs.metrics.counter("scheduler.dispatches",
                                 sed=chosen.sed_name).inc(1, now)
         self.tracing.emit(self.endpoint, "schedule",
                           request_id=sub.request_id, sed=chosen.sed_name,
                           service=sub.service_desc.path,
-                          n_candidates=len(candidates))
+                          n_candidates=n_candidates)
         return ((chosen.sed_name, chosen), 512)
+
+    def _admit(self, sub: SubmitRequest, candidates: List[EstimationVector],
+               hosts: Optional[Dict[str, str]] = None) -> EstimationVector:
+        """Rank candidates for one request and record the dispatch.
+
+        Pure bookkeeping, no yields: in pull mode the vectors just arrived
+        from the gather; in push mode they are the table rows' vectors and
+        ``hosts`` lets the MA price the client->SeD transfer for policies
+        that read comm time (a pushed row predates the client, so the
+        vector cannot carry it).
+        """
+        ctx = self.ctx
+        ctx.now = self.engine.now
+        ctx.service = sub.service_desc.path
+        ctx.resident_bytes = sub.resident_bytes
+        if self.data_cost_fn is not None and sub.data_handles:
+            ctx.data_transfer_cost = self.data_cost_fn(
+                sub.data_handles, [c.sed_name for c in candidates])
+        else:
+            ctx.data_transfer_cost = {}
+        if hosts is not None and self.policy.uses_commtime:
+            net = self.fabric.network
+            ctx.comm_time = {
+                sed: net.transfer_time(sub.client_host, host,
+                                       sub.request_nbytes)
+                for sed, host in hosts.items()}
+        else:
+            ctx.comm_time = {}
+        chosen = self.policy.choose(candidates, ctx)
+        assert chosen is not None
+        ctx.note_dispatch(chosen.sed_name)
+        return chosen
+
+    def _admission_loop(self) -> Generator[Event, Any, None]:
+        """Push mode: drain parked submits in batches against the table.
+
+        One ``processing_time`` charge covers the whole batch — requests
+        arriving in the same burst coalesce, so the per-request agent cost
+        amortizes away.  Admissions within a batch stay in arrival order
+        (the store is FIFO), preserving determinism.
+        """
+        store = self._admission
+        batch_max = self.params.admission_batch_max
+        while True:
+            first = yield store.get()
+            batch = [first]
+            yield self.engine.timeout(self.params.processing_time)
+            while len(batch) < batch_max:
+                extra = store.try_get()
+                if extra is None:
+                    break
+                batch.append(extra)
+            for item in batch:
+                sub, done, expires_at, _ = item
+                if done.triggered:
+                    continue  # expired while parked/queued
+                rows = self.table.candidates(sub.service_desc.path)
+                if not rows:
+                    if self.engine.now >= expires_at:
+                        done.succeed((None, 0))
+                    else:
+                        self._park(item)
+                    continue
+                hosts = {row.sed_name: row.host for row in rows}
+                chosen = self._admit(sub, [row.vector for row in rows],
+                                     hosts)
+                done.succeed((chosen, len(rows)))
+
+    def _park(self, item: list) -> None:
+        """Hold a candidate-less submit until a table change or expiry.
+
+        The expiry watchdog is armed once per item (re-parks after a
+        fruitless rescue reuse it), so the unknown-service case cannot
+        leak timers."""
+        self._parked.append(item)
+        if not item[3]:
+            item[3] = True
+            self.engine.process(self._park_expiry(item),
+                                name=f"admit-park:{self.name}")
+
+    def _park_expiry(self, item: list) -> Generator[Event, Any, None]:
+        _sub, done, expires_at, _ = item
+        yield self.engine.timeout(max(0.0, expires_at - self.engine.now))
+        try:
+            self._parked.remove(item)
+        except ValueError:
+            pass  # in the admission store right now; the loop sees triggered
+        if not done.triggered:
+            done.succeed((None, 0))
+
+    def _on_table_change(self) -> None:
+        # The MA is the root: nothing cascades upward; instead table growth
+        # may rescue submits parked for want of candidates (cold start, a
+        # service whose first SeD just pushed).
+        if self._parked:
+            parked, self._parked = self._parked, []
+            for item in parked:
+                self._admission.put(item)
 
     def _handle_job_done(self, msg) -> Generator[Event, Any, None]:
         info = msg.payload

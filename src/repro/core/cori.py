@@ -51,6 +51,19 @@ class CoRI:
                 ) -> Generator[Event, Any, EstimationVector]:
         """Process helper: probe the host and build the estimation vector."""
         yield self.engine.timeout(self.collect_time)
+        return self.build(sed_name, n_jobs, client_host, request_nbytes,
+                          predicted_tcomp)
+
+    def build(self, sed_name: str, n_jobs: int,
+              client_host: Optional[str] = None,
+              request_nbytes: int = 0,
+              predicted_tcomp: Optional[float] = None) -> EstimationVector:
+        """Probe the host *now* (no simulated delay) and build the vector.
+
+        Push-mode SeDs pay ``collect_time`` once per state change in their
+        push pump and then snapshot with this; pull mode keeps using
+        :meth:`collect`, whose delay is part of the per-request finding time.
+        """
         est = EstimationVector(sed_name=sed_name)
         est.set(EST_SPEED, self.host.speed)
         est.set(EST_NBJOBS, float(n_jobs))

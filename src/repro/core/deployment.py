@@ -44,6 +44,8 @@ class Deployment:
     log_central: Optional["LogCentral"] = None
     #: DAGDA data fabric (None unless the deployment wired one).
     data_grid: Optional["DataGrid"] = None
+    #: Estimate-flow mode the hierarchy was built with ("pull" or "push").
+    routing: str = "pull"
 
     def sed_by_name(self, name: str) -> SeD:
         for sed in self.seds:
@@ -83,7 +85,8 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                            with_client: bool = True,
                            with_log_central: bool = False,
                            obs: Optional[Observability] = None,
-                           data: Optional["DataManagerConfig"] = None) -> Deployment:
+                           data: Optional["DataManagerConfig"] = None,
+                           routing: str = "pull") -> Deployment:
     """Deploy the exact §5.1 hierarchy on a built Grid'5000 platform.
 
     * MA on the Lyon service node (with the client and, when
@@ -97,6 +100,11 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
     a shared replica catalog threaded through the MA/LA tree with the given
     per-SeD configuration.  None (the default) leaves the deployment
     byte-for-byte as before the data subsystem existed.
+
+    ``routing`` selects the estimate flow: ``"pull"`` (the default, the
+    paper's per-request fan-out — kept byte-identical for every figure) or
+    ``"push"`` (SeDs push deltas, agents materialize top-k tables, the MA
+    admits from its table in batches; see DESIGN.md).
     """
     engine = platform.engine
     fabric = TransportFabric(engine, platform.network, transport_params)
@@ -114,7 +122,7 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
 
     ma = MasterAgent(fabric, platform.ma_host, name="MA", policy=policy,
                      params=agent_params, tracer=tracer,
-                     log_central=log_name)
+                     log_central=log_name, routing=routing)
 
     data_grid: Optional["DataGrid"] = None
     if data is not None:
@@ -128,7 +136,8 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
     seds: List[SeD] = []
     for full_name, cluster in platform.clusters.items():
         la = LocalAgent(fabric, cluster.frontend, name=f"LA-{full_name}",
-                        parent=ma.name, params=agent_params, tracer=tracer)
+                        parent=ma.name, params=agent_params, tracer=tracer,
+                        routing=routing)
         ma.add_child(la.name)
         local_agents.append(la)
         la_node = None
@@ -143,7 +152,7 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
                     f"(§4.1 requires an NFS working directory)")
             sed = SeD(fabric, host, name=f"SeD-{host.name}", ma_name=ma.name,
                       params=sed_params, tracer=tracer, nfs=cluster.nfs,
-                      log_central=log_name, parent=la.name)
+                      log_central=log_name, parent=la.name, routing=routing)
             la.add_child(sed.name)
             seds.append(sed)
             if data_grid is not None:
@@ -157,4 +166,4 @@ def deploy_paper_hierarchy(platform: Grid5000Platform,
     return Deployment(engine=engine, fabric=fabric, tracer=tracer, ma=ma,
                       local_agents=local_agents, seds=seds, client=client,
                       platform=platform, log_central=log_central,
-                      data_grid=data_grid)
+                      data_grid=data_grid, routing=routing)

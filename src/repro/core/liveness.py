@@ -14,6 +14,14 @@ Probes ride the normal RPC path, so they are charged marshalling + network
 time like any other control message and show up in the accounting counters
 — liveness is not free, which is exactly the overhead/responsiveness
 trade-off ``interval`` expresses.
+
+Deregistration calls :meth:`LocalAgent.remove_child`, which in push
+routing mode also invalidates every materialized-table row that arrived
+through the dead child and cascades the removals upward (see
+:mod:`repro.core.aggregation`) — heartbeats are how push mode learns a
+candidate is gone, so push deployments that expect crashes should enable
+them; without them stale rows linger until the client's retry path routes
+around the dead dispatch.
 """
 
 from __future__ import annotations

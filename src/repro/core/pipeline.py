@@ -56,6 +56,7 @@ from typing import (
 )
 
 from ..sim.engine import Engine, Event
+from .exceptions import ServerNotFoundError
 from .logservice import post_event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -481,11 +482,16 @@ class TracingInterceptor(Interceptor):
             # Submit/solve RPC failed (dead letter, crashed SeD, no server
             # found): unwind the whole request track so the failure path
             # leaves no open spans.  Other ops (estimate fan-out legs) fail
-            # without killing the request.
+            # without killing the request.  An MA admission rejection is
+            # distinguishable from transport loss so saturation experiments
+            # can separate rejected from failed requests.
             if ctx.op in (self.SUBMIT_OP, self.SOLVE_OP):
                 obs = self.tracer.obs
                 if obs.enabled:
-                    obs.spans.unwind(f"req:{rid}", ctx.engine.now, "error")
+                    status = ("rejected"
+                              if isinstance(ctx.reply_value, ServerNotFoundError)
+                              else "error")
+                    obs.spans.unwind(f"req:{rid}", ctx.engine.now, status)
             return
         now = ctx.engine.now
         if ctx.op == self.SUBMIT_OP:

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .profile import Profile, ProfileDesc
 
-__all__ = ["EstimateRequest", "SubmitRequest", "SolveRequest", "SolveReply",
-           "new_request_id"]
+__all__ = ["EstimateDelta", "EstimateRequest", "SubmitRequest",
+           "SolveRequest", "SolveReply", "new_request_id"]
 
 _request_ids = itertools.count(1)
 
@@ -32,6 +32,33 @@ class EstimateRequest:
     def service_path(self) -> str:
         """Uniform service accessor for the tracing pipeline."""
         return self.service_desc.path
+
+
+@dataclass
+class EstimateDelta:
+    """Child -> parent: incremental estimate-table update (push routing).
+
+    The inverse of :class:`EstimateRequest`: instead of the hierarchy
+    polling every SeD per request, a SeD pushes a fresh estimation vector
+    when its own state changes (solve start/end, queue change, restart) and
+    each agent forwards only the resulting *changes* of its materialized
+    top-k table upward.  ``updates`` rows carry a per-origin monotone
+    ``seq`` so a stale delta (late wire arrival, pre-crash leftovers) can
+    never overwrite a newer row.
+    """
+
+    #: Endpoint that sent this delta — the immediate child, which is the
+    #: SeD itself at a leaf LA and the forwarding LA above that.
+    source: str
+    #: ``(service_path, EstimationVector, origin_host_name, seq)`` rows.
+    updates: List[Tuple] = field(default_factory=list)
+    #: ``(service_path, sed_name)`` rows whose candidate disappeared
+    #: (fell out of the child's top-k, or the SeD was deregistered).
+    removals: List[Tuple] = field(default_factory=list)
+
+    def wire_bytes(self) -> int:
+        """Message size: same per-vector cost as an estimate reply."""
+        return 128 + 384 * len(self.updates) + 64 * len(self.removals)
 
 
 @dataclass

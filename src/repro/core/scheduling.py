@@ -55,9 +55,14 @@ EST_TIMESINCELASTSOLVE = "EST_TIMESINCELASTSOLVE"
 EST_COMMTIME = "EST_COMMTIME"                 # predicted client->SeD transfer (s)
 
 
-@dataclass
+@dataclass(slots=True)
 class EstimationVector:
-    """One SeD's answer to an estimation request."""
+    """One SeD's answer to an estimation request.
+
+    Slotted because it matters at scale: push-mode tables materialize one
+    vector per (service, SeD) and the gather/aggregate hot path churns
+    through them — at 10^4 SeDs the per-instance ``__dict__`` is measurable.
+    """
 
     sed_name: str
     values: Dict[str, float] = field(default_factory=dict)
@@ -103,6 +108,12 @@ class SchedulingContext:
     #: request's non-resident persistent inputs (set by the MA from the
     #: replica catalog; empty when no data grid is deployed).
     data_transfer_cost: Dict[str, float] = field(default_factory=dict)
+    #: Predicted client->SeD transfer seconds per candidate for the request
+    #: being scheduled.  Pull mode leaves this empty (CoRI stamps
+    #: ``EST_COMMTIME`` into each fresh vector); push mode fills it at the
+    #: MA, because pushed table rows predate the client and cannot carry a
+    #: per-client comm time.  Only computed when ``policy.uses_commtime``.
+    comm_time: Dict[str, float] = field(default_factory=dict)
 
     def note_dispatch(self, sed_name: str) -> None:
         self.dispatched[sed_name] = self.dispatched.get(sed_name, 0) + 1
@@ -129,11 +140,35 @@ class SchedulingContext:
         """Transfer seconds this SeD would pay for non-resident inputs."""
         return self.data_transfer_cost.get(sed_name, 0.0)
 
+    def comm_cost(self, est: EstimationVector) -> float:
+        """Predicted client->SeD transfer time for the current request.
+
+        Prefers the per-request value the MA computed (push mode), falling
+        back to the vector's own ``EST_COMMTIME`` (pull mode); unknown
+        means free, matching the historical MCT behaviour.
+        """
+        comm = self.comm_time.get(est.sed_name)
+        if comm is None:
+            comm = est.get(EST_COMMTIME, 0.0)
+        if comm == float("inf"):
+            comm = 0.0
+        return comm
+
 
 class SchedulerPolicy:
-    """Base class: orders candidate estimation vectors, best first."""
+    """Base class: orders candidate estimation vectors, best first.
+
+    Policies are *stateless over the candidates they are given*: whether
+    the vectors arrive fresh from a pull-mode gather or as materialized
+    push-mode table rows, ranking combines the vectors with the MA-side
+    :class:`SchedulingContext` (in-flight dispatch counts, history, data
+    residency) — the context carries everything that must be per-request.
+    """
 
     name = "base"
+    #: True when the policy reads client->SeD comm time; lets push mode
+    #: skip computing it per candidate for policies that ignore it.
+    uses_commtime = False
 
     def sort(self, candidates: Sequence[EstimationVector],
              ctx: SchedulingContext) -> List[EstimationVector]:
@@ -231,6 +266,7 @@ class MCTPolicy(SchedulerPolicy):
     """
 
     name = "mct"
+    uses_commtime = True
 
     def per_job_time(self, est: EstimationVector, ctx: SchedulingContext) -> float:
         hist = ctx.service_history(est.sed_name)
@@ -246,10 +282,8 @@ class MCTPolicy(SchedulerPolicy):
         def completion(est: EstimationVector) -> float:
             t = self.per_job_time(est, ctx)
             backlog = max(ctx.in_flight(est.sed_name), est.get(EST_NBJOBS, 0.0))
-            comm = est.get(EST_COMMTIME, 0.0)
-            if comm == float("inf"):
-                comm = 0.0
-            return (backlog + 1.0) * t + comm + ctx.data_cost(est.sed_name)
+            return ((backlog + 1.0) * t + ctx.comm_cost(est)
+                    + ctx.data_cost(est.sed_name))
 
         return sorted(candidates, key=lambda e: (completion(e), e.sed_name))
 

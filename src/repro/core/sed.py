@@ -21,12 +21,13 @@ from ..sim.engine import Engine, Event, Interrupt
 from ..sim.network import Host
 from ..sim.resources import Resource
 from ..platform.nfs import NfsVolume
+from .agent import ROUTING_MODES
 from .cori import CoRI
 from .data import DataHandle, Direction
 from .exceptions import DataError, DietError
 from .pipeline import TracingInterceptor
 from .profile import Profile, ProfileDesc, ServiceTable, SolveFunc
-from .requests import EstimateRequest, SolveReply, SolveRequest
+from .requests import EstimateDelta, EstimateRequest, SolveReply, SolveRequest
 from .statistics import Tracer
 from .transport import Endpoint, TransportFabric
 
@@ -82,7 +83,12 @@ class SeD:
                  nfs: Optional[NfsVolume] = None,
                  table_size: int = 64,
                  log_central: Optional[str] = None,
-                 parent: Optional[str] = None):
+                 parent: Optional[str] = None,
+                 routing: str = "pull"):
+        if routing not in ROUTING_MODES:
+            raise ValueError(f"routing must be one of {ROUTING_MODES}, "
+                             f"got {routing!r}")
+        self.routing = routing
         self.fabric = fabric
         self.engine = fabric.engine
         self.host = host
@@ -118,6 +124,11 @@ class SeD:
         self.crash_count = 0
         self._crashed = False
         self._launched = False
+        #: Push routing: per-origin monotone stamp on every pushed row.
+        #: Never reset — it must stay monotone across crash/restart cycles
+        #: so a pre-crash straggler can't overwrite a post-restart row.
+        self._push_seq = 0
+        self._push_dirty = False
 
     def _bind_handlers(self) -> None:
         """Attach operation handlers to the current endpoint (a restart
@@ -143,6 +154,9 @@ class SeD:
             raise DietError("refusing to launch a SeD with an empty service table")
         self.endpoint.start()
         self._launched = True
+        # Push routing: announce the initial (idle) estimates so the agent
+        # tables know this SeD before the first request arrives.
+        self._schedule_push()
 
     @property
     def n_jobs(self) -> int:
@@ -230,6 +244,9 @@ class SeD:
         for attempt in range(3):
             try:
                 yield from self.endpoint.rpc(self.parent, "register", self.name)
+                # Rejoined: re-push our estimates — the LA invalidated (or
+                # holds stale rows for) this SeD while it was down.
+                self._schedule_push()
                 return
             except Exception:
                 if self.endpoint.closed:   # crashed again mid-announce
@@ -242,6 +259,41 @@ class SeD:
         yield  # pragma: no cover - make this a generator function
 
     # -- estimation ---------------------------------------------------------------
+
+    def _schedule_push(self) -> None:
+        """Arm the push pump on a state change (solve start/end, queue
+        change, launch, restart rejoin).  Coalescing: while a pump is
+        pending, further changes ride its snapshot — the pump reads state
+        *after* its probe delay, so it always ships the freshest view."""
+        if (self.routing != "push" or self.parent is None or self._crashed
+                or not self._launched or self._push_dirty):
+            return
+        self._push_dirty = True
+        self.engine.process(self._push_pump(), name=f"push:{self.name}")
+
+    def _push_pump(self) -> Generator[Event, Any, None]:
+        """Pay one CoRI probe, then push fresh vectors for every service.
+
+        Runs as a standalone process (not an endpoint handler), so it
+        guards its own liveness: a crash while the probe was sleeping ends
+        the pump silently.  The send is best-effort — a dead parent is the
+        heartbeat monitor's problem.
+        """
+        yield self.engine.timeout(self.params.estimate_collect_time)
+        self._push_dirty = False
+        if self._crashed or self.endpoint.closed:
+            return
+        n_jobs = self.n_jobs
+        updates = []
+        for path, reg in self._registrations.items():
+            predicted = reg.predictor(reg.desc) if reg.predictor else None
+            est = self.cori.build(self.name, n_jobs,
+                                  predicted_tcomp=predicted)
+            self._push_seq += 1
+            updates.append((path, est, self.host.name, self._push_seq))
+        delta = EstimateDelta(self.name, updates)
+        yield from self.endpoint.try_send(self.parent, "est_delta", delta,
+                                          nbytes=delta.wire_bytes())
 
     def _handle_estimate(self, msg) -> Generator[Event, Any, tuple]:
         req: EstimateRequest = msg.payload
@@ -332,6 +384,8 @@ class SeD:
 
         obs = self.tracer.obs
         track = f"req:{req.request_id}"
+        # Queue is about to grow: push the new backlog up the tree.
+        self._schedule_push()
         slot = yield from self.job_slots.acquire()
         try:
             # Slot granted: the queue wait is over, initiation begins.
@@ -394,6 +448,8 @@ class SeD:
         self.solve_count += 1
         self.solve_durations.append(duration)
         self.cori.note_solve_end()
+        # Queue shrank (slot released above): push the new state upward.
+        self._schedule_push()
 
         if self.ma_name is not None:
             # Lightweight completion feedback for history-based plug-in

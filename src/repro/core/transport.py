@@ -267,6 +267,22 @@ class Endpoint:
         """One-way message (no reply expected)."""
         yield from self.fabric._transmit(self, dst, op, payload, nbytes, reply_to=None)
 
+    def try_send(self, dst: str, op: str, payload: Any = None,
+                 nbytes: Optional[int] = None) -> Generator[Event, Any, bool]:
+        """Best-effort one-way message: False instead of raising.
+
+        Push-mode estimate deltas use this — a parent that is stopped,
+        unbound, or vanishes while the delta is on the wire is a liveness
+        problem (heartbeats will deal with it), not the sender's: the pump
+        must keep running, not unwind.
+        """
+        try:
+            yield from self.fabric._transmit(self, dst, op, payload, nbytes,
+                                             reply_to=None)
+        except CommunicationError:
+            return False
+        return True
+
     def rpc(self, dst: str, op: str, payload: Any = None,
             nbytes: Optional[int] = None) -> Generator[Event, Any, Any]:
         """Remote invocation; suspends until the reply arrives.

@@ -11,9 +11,10 @@ and two baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..platform.grid5000 import PAPER_CLUSTERS, ClusterSpec
 from ..services.ramses_service import ExecutionMode
 from ..services.workflow import (
     CampaignConfig,
@@ -24,7 +25,17 @@ from ..services.workflow import (
 from .report import ascii_table, hms
 from .runner import Task, run_tasks
 
-__all__ = ["AblationResult", "run", "render", "DEFAULT_POLICIES"]
+__all__ = [
+    "AblationResult",
+    "RoutingAblationResult",
+    "run",
+    "render",
+    "run_routing",
+    "render_routing",
+    "routing_cluster_specs",
+    "DEFAULT_POLICIES",
+    "DEFAULT_WIDTHS",
+]
 
 #: (policy name, register predictors?) pairs compared by the ablation.
 DEFAULT_POLICIES = (
@@ -104,3 +115,91 @@ def render(result: AblationResult) -> str:
             + ascii_table(("policy", "part-2 makespan", "busy max/min",
                            "reqs/SeD"), rows)
             + f"\nMCT plug-in improves the default makespan by {gain:.1f}%")
+
+
+# -- E7b: pull vs push routing at growing hierarchy widths -----------------------
+
+#: Cluster counts swept by the routing ablation (the paper deployed 6).
+DEFAULT_WIDTHS = (6, 12, 24)
+
+
+def routing_cluster_specs(width: int) -> Tuple[ClusterSpec, ...]:
+    """A ``width``-cluster platform cycling the paper's six cluster specs
+    (names uniquified so every frontend/NFS/SeD gets its own host)."""
+    specs = []
+    for i in range(width):
+        base = PAPER_CLUSTERS[i % len(PAPER_CLUSTERS)]
+        specs.append(replace(base, name=f"{base.name}{i}"))
+    return tuple(specs)
+
+
+@dataclass
+class RoutingAblationResult:
+    """Pull vs push campaigns keyed ``f"{mode}@{width}"``."""
+
+    widths: List[int] = field(default_factory=list)
+    campaigns: Dict[str, CampaignResult] = field(default_factory=dict)
+
+    def campaign(self, mode: str, width: int) -> CampaignResult:
+        return self.campaigns[f"{mode}@{width}"]
+
+    def n_seds(self, width: int) -> int:
+        return len(self.campaign("pull", width).deployment.sed_names)
+
+    def finding_mean(self, mode: str, width: int) -> float:
+        """Mean client-observed SeD-finding time — the routing cost the
+        pull->push refactor targets (pull grows with width, push must not)."""
+        times = self.campaign(mode, width).finding_times()
+        return sum(times) / len(times)
+
+    def part2_makespan(self, mode: str, width: int) -> float:
+        c = self.campaign(mode, width)
+        ends = [t.completed_at for t in c.part2_traces if t.completed_at]
+        starts = [t.submitted_at for t in c.part2_traces if t.submitted_at]
+        return max(ends) - min(starts)
+
+    def finding_speedup(self, width: int) -> float:
+        """How much faster push finds a SeD than pull at this width."""
+        return self.finding_mean("pull", width) / self.finding_mean("push", width)
+
+
+def run_routing(base_config: Optional[CampaignConfig] = None,
+                widths: Sequence[int] = DEFAULT_WIDTHS,
+                modes: Sequence[str] = ("pull", "push"),
+                jobs: Optional[int] = None) -> RoutingAblationResult:
+    """One campaign per (routing mode, hierarchy width); ``jobs`` fans the
+    (independent, seeded) campaigns out to worker processes."""
+    base = base_config or CampaignConfig()
+    keyed_configs = []
+    for width in widths:
+        specs = routing_cluster_specs(width)
+        for mode in modes:
+            keyed_configs.append((f"{mode}@{width}",
+                                  replace(base, cluster_specs=specs,
+                                          routing=mode)))
+    result = RoutingAblationResult(widths=list(widths))
+    if jobs is not None and jobs != 1:
+        campaigns = run_tasks(
+            [Task(key=key, func=run_campaign_detached, args=(cfg,),
+                  seed=cfg.seed) for key, cfg in keyed_configs], jobs=jobs)
+    else:
+        campaigns = [run_campaign(cfg) for _, cfg in keyed_configs]
+    for (key, _), campaign in zip(keyed_configs, campaigns):
+        result.campaigns[key] = campaign
+    return result
+
+
+def render_routing(result: RoutingAblationResult) -> str:
+    rows = []
+    for width in result.widths:
+        rows.append((str(width), str(result.n_seds(width)),
+                     f"{result.finding_mean('pull', width) * 1e3:.1f}ms",
+                     f"{result.finding_mean('push', width) * 1e3:.1f}ms",
+                     f"{result.finding_speedup(width):.1f}x",
+                     hms(result.part2_makespan("pull", width)),
+                     hms(result.part2_makespan("push", width))))
+    return ("E7b - routing ablation (pull fans out per request, push admits "
+            "from materialized tables)\n"
+            + ascii_table(("clusters", "SeDs", "pull find", "push find",
+                           "speedup", "pull makespan", "push makespan"),
+                          rows))

@@ -145,6 +145,10 @@ class CampaignConfig:
     #: SeD (the client gets a handle); "replicated"/"broadcast" add replica
     #: creation on top of persistence.
     data_policy: Optional[str] = None
+    #: Estimate flow: "pull" (the paper's per-request MA→LA→SeD fan-out,
+    #: kept byte-identical for every figure) or "push" (SeDs push deltas,
+    #: agents materialize top-k tables, the MA batches admission).
+    routing: str = "pull"
 
 
 @dataclass(frozen=True)
@@ -445,7 +449,8 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     keep_results = policy_keeps_results(config.data_policy)
     deployment = deploy_paper_hierarchy(platform, policy=policy,
                                         agent_params=agent_params, obs=obs,
-                                        data=data_config)
+                                        data=data_config,
+                                        routing=config.routing)
 
     workdir = config.workdir
     cleanup_dir = None

@@ -62,6 +62,26 @@ class TestMiddlewareExperiments:
         assert spans["mct"] <= spans["default"] * 1.02
         assert "makespan" in ablation_scheduler.render(result)
 
+    def test_routing_ablation_small(self):
+        result = ablation_scheduler.run_routing(
+            CampaignConfig(n_sub_simulations=6), widths=(2, 4))
+        assert set(result.campaigns) == {"pull@2", "push@2",
+                                         "pull@4", "push@4"}
+        assert result.n_seds(4) > result.n_seds(2)
+        # pull finding time grows with width; push must not
+        assert (result.finding_mean("pull", 4)
+                > result.finding_mean("pull", 2))
+        assert result.finding_mean("push", 4) == pytest.approx(
+            result.finding_mean("push", 2), rel=0.05)
+        assert result.finding_speedup(4) > result.finding_speedup(2)
+        text = ablation_scheduler.render_routing(result)
+        assert "routing ablation" in text and "speedup" in text
+
+    def test_routing_cluster_specs_unique(self):
+        specs = ablation_scheduler.routing_cluster_specs(8)
+        assert len(specs) == 8
+        assert len({s.full_name for s in specs}) == 8
+
 
 class TestScienceExperiments:
     def test_figure2_small(self):
