@@ -33,6 +33,7 @@ from .experiments import (
     figure3_zoom,
     figure4,
     figure5,
+    load_federation,
     overhead,
     scaling_nodes,
     table_timings,
@@ -76,10 +77,21 @@ _EXPERIMENTS: Dict[str, Tuple[str, Callable[..., Any], Callable[[Any], str]]] = 
                       lambda args: data_locality.run(
                           n_sub_simulations=args.n_sub, jobs=args.jobs),
                       data_locality.render),
+    "load": ("E13: federated load sweep (multi-MA, open-loop traffic, "
+             "SeD churn; pull vs push)",
+             lambda args: load_federation.run(
+                 loads=tuple(float(x) for x in args.loads.split(",")),
+                 duration=args.duration, n_clients=args.clients,
+                 n_grids=args.grids,
+                 clusters_per_grid=args.clusters_per_grid,
+                 churn=args.churn, seed=args.seed, jobs=args.jobs,
+                 observe=bool(args.trace or args.gantt_svg or args.profile)),
+             load_federation.render),
 }
 
 #: Experiments that sweep independent runs and accept ``--jobs``.
-_PARALLEL = ("ablation", "routing", "scaling", "degraded", "data-locality")
+_PARALLEL = ("ablation", "routing", "scaling", "degraded", "data-locality",
+             "load")
 
 
 def _campaigns_of(result: Any) -> List[Any]:
@@ -222,6 +234,25 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "data-locality":
             p.add_argument("--n-sub", type=int, default=100,
                            help="zoom sub-simulations per arm (default 100)")
+        if name == "load":
+            p.add_argument("--loads", default="2,4,8,16",
+                           help="comma-separated offered loads in requests/s "
+                                "(default 2,4,8,16)")
+            p.add_argument("--duration", type=float, default=60.0,
+                           help="seconds of open-loop arrivals per point "
+                                "(default 60)")
+            p.add_argument("--clients", type=int, default=1000,
+                           help="Zipf-ranked logical client population "
+                                "(default 1000; scales to 10^6)")
+            p.add_argument("--grids", type=int, default=2,
+                           help="MA hierarchies in the federation (default 2)")
+            p.add_argument("--clusters-per-grid", type=int, default=2,
+                           help="clusters per grid from the paper catalogue "
+                                "(default 2)")
+            p.add_argument("--churn", type=int, default=2,
+                           help="SeD outages injected per point (default 2; "
+                                "0 disables churn)")
+            p.add_argument("--seed", type=int, default=2007)
         _add_obs_flags(p)
 
     campaign = sub.add_parser("campaign",

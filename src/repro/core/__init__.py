@@ -30,6 +30,16 @@ from .data import (
     vector_desc,
 )
 from .deployment import Deployment, deploy_paper_hierarchy
+from .federation import (
+    ChurnPlan,
+    FederatedClient,
+    FederatedGrid,
+    Federation,
+    FederationConfig,
+    build_federation,
+    federation_cluster_specs,
+    schedule_churn,
+)
 from .exceptions import (
     CommunicationError,
     DataError,
@@ -89,6 +99,7 @@ __all__ = [
     "AsyncRequest",
     "BaseType",
     "CandidateRow",
+    "ChurnPlan",
     "CommunicationError",
     "CompositeType",
     "CoRI",
@@ -109,6 +120,10 @@ __all__ = [
     "EstimationVector",
     "FastestNodePolicy",
     "FaultInjectionInterceptor",
+    "FederatedClient",
+    "FederatedGrid",
+    "Federation",
+    "FederationConfig",
     "FileRef",
     "FunctionHandle",
     "HeartbeatConfig",
@@ -151,13 +166,16 @@ __all__ = [
     "TracingInterceptor",
     "TransportFabric",
     "TransportParams",
+    "build_federation",
     "deploy_paper_hierarchy",
+    "federation_cluster_specs",
     "file_desc",
     "matrix_desc",
     "make_policy",
     "new_request_id",
     "post_event",
     "scalar_desc",
+    "schedule_churn",
     "sizeof_value",
     "string_desc",
     "vector_desc",

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
-from ..sim.engine import Engine, Event
+from ..sim.engine import Engine, Event, Interrupt
 from ..sim.network import Host
 from ..sim.resources import Store
 from .aggregation import AggregationTable
@@ -174,7 +174,10 @@ class LocalAgent:
             return False
         self.deregistrations.append(endpoint_name)
         if self.table is not None and self.table.drop_via(endpoint_name):
-            self._on_table_change()
+            # Pure removals: rows only disappeared, no service gained a
+            # candidate — interior agents still cascade the shrink upward,
+            # but the MA must not re-examine parked submits for it.
+            self._on_table_change(frozenset())
         return True
 
     def launch(self) -> None:
@@ -226,14 +229,20 @@ class LocalAgent:
             # Late delta from a deregistered child: its rows were already
             # invalidated; applying them would resurrect a dead candidate.
             return
-        if self.table.apply_delta(delta):
-            self._on_table_change()
+        outcome = self.table.apply_delta(delta)
+        if outcome:
+            self._on_table_change(outcome.gained)
         return
         yield  # pragma: no cover - make this a generator function
 
-    def _on_table_change(self) -> None:
+    def _on_table_change(self, gained: frozenset) -> None:
         """React to table changes: interior agents cascade a diff upward
-        (the MA has no parent — its table is read directly by admission)."""
+        (the MA has no parent — its table is read directly by admission).
+
+        ``gained`` names the services that received applied update rows
+        (empty for pure removals); interior agents forward either way, the
+        MA override keys its parked-submit rescue on it.
+        """
         if self.parent is not None:
             self._schedule_forward()
 
@@ -340,6 +349,10 @@ class MasterAgent(LocalAgent):
         #: first SeD has not pushed): held until a table change rescues
         #: them or their grace deadline rejects them.
         self._parked: List[list] = []
+        #: The single expiry sweeper serving every parked submit (see
+        #: :meth:`_park`); None while no submit is parked.
+        self._sweep_proc = None
+        self._sweep_target = float("inf")
         if self.routing == "push":
             self._admission = Store(self.engine)
         #: Data-locality pricing hook: ``fn(handles, candidate_names) ->
@@ -379,8 +392,7 @@ class MasterAgent(LocalAgent):
             # pull mode's per-child estimate deadline.
             self.request_count += 1
             done = Event(self.engine)
-            item = [sub, done, self.engine.now + self.params.child_timeout,
-                    False]
+            item = [sub, done, self.engine.now + self.params.child_timeout]
             self._admission.put(item)
             chosen, n_candidates = yield done
         else:
@@ -464,7 +476,7 @@ class MasterAgent(LocalAgent):
                     break
                 batch.append(extra)
             for item in batch:
-                sub, done, expires_at, _ = item
+                sub, done, expires_at = item
                 if done.triggered:
                     continue  # expired while parked/queued
                 rows = self.table.candidates(sub.service_desc.path)
@@ -482,33 +494,65 @@ class MasterAgent(LocalAgent):
     def _park(self, item: list) -> None:
         """Hold a candidate-less submit until a table change or expiry.
 
-        The expiry watchdog is armed once per item (re-parks after a
-        fruitless rescue reuse it), so the unknown-service case cannot
-        leak timers."""
+        One sweeper process serves every parked submit.  A per-item
+        watchdog would sleep the full ``child_timeout`` even after its
+        submit was admitted, leaving one dead timer on the event heap per
+        admitted-after-park request — at load that is an O(in-flight)
+        heap leak.  The sweeper instead sleeps until the *earliest*
+        pending deadline (retargeted by interrupt when a re-park brings an
+        earlier one) and expires whatever is due when it wakes, so the
+        heap carries at most one live park timer at any moment.
+        """
         self._parked.append(item)
-        if not item[3]:
-            item[3] = True
-            self.engine.process(self._park_expiry(item),
-                                name=f"admit-park:{self.name}")
+        if self._sweep_proc is None or not self._sweep_proc.is_alive:
+            # -inf sentinel: a fresh sweeper computes its own first target
+            # (it must not be interrupted before its generator starts).
+            self._sweep_target = float("-inf")
+            self._sweep_proc = self.engine.process(
+                self._expiry_sweep(), name=f"admit-park:{self.name}")
+        elif item[2] < self._sweep_target:
+            self._sweep_proc.interrupt("earlier park deadline")
 
-    def _park_expiry(self, item: list) -> Generator[Event, Any, None]:
-        _sub, done, expires_at, _ = item
-        yield self.engine.timeout(max(0.0, expires_at - self.engine.now))
-        try:
-            self._parked.remove(item)
-        except ValueError:
-            pass  # in the admission store right now; the loop sees triggered
-        if not done.triggered:
-            done.succeed((None, 0))
+    def _expiry_sweep(self) -> Generator[Event, Any, None]:
+        """Reject parked submits whose grace deadline passed (see _park)."""
+        while True:
+            pending = [it for it in self._parked if not it[1].triggered]
+            if not pending:
+                return
+            self._sweep_target = min(it[2] for it in pending)
+            try:
+                yield self.engine.timeout(
+                    max(0.0, self._sweep_target - self.engine.now))
+            except Interrupt:
+                continue  # an earlier deadline was parked: retarget
+            now = self.engine.now
+            keep = []
+            for it in self._parked:
+                if it[1].triggered:
+                    continue
+                if it[2] <= now:
+                    it[1].succeed((None, 0))
+                else:
+                    keep.append(it)
+            self._parked = keep
 
-    def _on_table_change(self) -> None:
+    def _on_table_change(self, gained: frozenset) -> None:
         # The MA is the root: nothing cascades upward; instead table growth
         # may rescue submits parked for want of candidates (cold start, a
-        # service whose first SeD just pushed).
-        if self._parked:
-            parked, self._parked = self._parked, []
-            for item in parked:
+        # service whose first SeD just pushed).  Only submits whose service
+        # actually *gained* a candidate row are re-queued: a pure removal
+        # (heartbeat crash cascade) cannot help a candidate-less submit,
+        # and re-examining every parked item on every churn event would
+        # burn a full ``processing_time`` admission batch for nothing.
+        if not self._parked or not gained:
+            return
+        keep = []
+        for item in self._parked:
+            if item[0].service_desc.path in gained:
                 self._admission.put(item)
+            else:
+                keep.append(item)
+        self._parked = keep
 
     def _handle_job_done(self, msg) -> Generator[Event, Any, None]:
         info = msg.payload

@@ -38,7 +38,8 @@ from typing import Dict, List, Optional, Tuple
 from .requests import EstimateDelta
 from .scheduling import EST_NBJOBS, EST_SPEED, EstimationVector
 
-__all__ = ["CandidateRow", "ServiceTable", "AggregationTable", "rank_key"]
+__all__ = ["CandidateRow", "DeltaOutcome", "ServiceTable", "AggregationTable",
+           "rank_key"]
 
 
 def rank_key(vector: EstimationVector, sed_name: str) -> Tuple:
@@ -62,6 +63,30 @@ class CandidateRow:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CandidateRow({self.sed_name} via {self.via} "
                 f"seq={self.seq}: {self.vector})")
+
+
+class DeltaOutcome:
+    """What one :meth:`AggregationTable.apply_delta` call actually did.
+
+    Truthy when any row changed (the cascade condition interior agents
+    react to); ``gained`` names the services that received an applied
+    *update* row — the only changes that can turn an empty candidate set
+    non-empty, which is what the MA's parked-submit rescue must key on.
+    Pure removals leave ``gained`` empty: they can only shrink tables, so
+    re-examining candidate-less submits for them is wasted admission work.
+    """
+
+    __slots__ = ("changed", "gained")
+
+    def __init__(self, changed: bool, gained: frozenset):
+        self.changed = changed
+        self.gained = gained
+
+    def __bool__(self) -> bool:
+        return self.changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeltaOutcome(changed={self.changed}, gained={set(self.gained)})"
 
 
 class ServiceTable:
@@ -146,20 +171,27 @@ class AggregationTable:
             tbl = self.services[service] = ServiceTable(service)
         return tbl
 
-    def apply_delta(self, delta: EstimateDelta) -> bool:
-        """Fold one child delta in; True if any row actually changed."""
+    def apply_delta(self, delta: EstimateDelta) -> DeltaOutcome:
+        """Fold one child delta in.
+
+        Returns a :class:`DeltaOutcome`: truthy if any row actually
+        changed, with ``gained`` naming the services whose update rows
+        applied (stale-seq updates and pure removals gain nothing).
+        """
         changed = False
+        gained = set()
         for service, vector, host, seq in delta.updates:
             if self.table(service).update(vector.sed_name, vector, host,
                                           delta.source, seq):
                 changed = True
+                gained.add(service)
         for service, sed_name in delta.removals:
             tbl = self.services.get(service)
             if tbl is not None and tbl.remove(sed_name):
                 changed = True
         if changed:
             self.deltas_applied += 1
-        return changed
+        return DeltaOutcome(changed, frozenset(gained))
 
     def drop_via(self, child: str) -> bool:
         """Invalidate every row that arrived through ``child``.

@@ -1,0 +1,342 @@
+"""Multi-MA federation: several DIET hierarchies over a multi-grid platform.
+
+The paper's follow-up deployments run DIET with *several* Master Agents —
+one hierarchy per grid — because a single MA is both a scalability
+bottleneck and a single point of failure.  This module models that
+platform (ROADMAP item 1):
+
+* :func:`federation_cluster_specs` replicates the §5.1 cluster catalogue
+  across ``n_grids`` grids (sites prefixed ``g0-``, ``g1-``, ...), all
+  star-attached to one shared RENATER-style core, and
+  :func:`build_federation` stands up one MA→LA→SeD hierarchy per grid on
+  a single shared :class:`~repro.core.transport.TransportFabric`;
+* :class:`FederatedClient` implements the inter-MA redirection policy: a
+  client is homed on one MA and, when that MA rejects the request
+  (:class:`~repro.core.exceptions.ServerNotFoundError`) or is unreachable
+  (:class:`~repro.core.exceptions.CommunicationError`), rotates through
+  the sibling MAs in federation order before giving up;
+* :func:`schedule_churn` draws non-overlapping SeD outages from named
+  random streams and hands them to the existing
+  :class:`~repro.sim.failures.FailureInjector` — grid nodes disappear and
+  come back while load is offered.
+
+Everything is deterministic per seed: victim choice uses
+``choice(replace=False)`` (the injector forbids overlapping outages per
+victim), MA/LA/SeD names embed the grid index, and request ids stay
+fabric-scoped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import Observability
+from ..platform.grid5000 import (
+    _LAN_BW,
+    _LAN_LATENCY,
+    PAPER_CLUSTERS,
+    ClusterSpec,
+    Grid5000Platform,
+    build_grid5000,
+)
+from ..sim.engine import Engine, Event
+from ..sim.failures import FailureInjector, Outage
+from ..sim.network import Host, Link
+from ..sim.rng import RandomStreams
+from .agent import AgentParams, LocalAgent, MasterAgent
+from .exceptions import CommunicationError, DietError, ServerNotFoundError
+from .profile import Profile
+from .requests import SolveRequest, SubmitRequest
+from .sed import SeD, SeDParams
+from .statistics import Tracer
+from .transport import TransportFabric
+
+__all__ = ["FederationConfig", "FederatedGrid", "Federation",
+           "FederatedClient", "ChurnPlan", "federation_cluster_specs",
+           "build_federation", "schedule_churn"]
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Shape of one federated deployment."""
+
+    #: Independent MA hierarchies (one per grid).
+    n_grids: int = 2
+    #: Clusters per grid, drawn cyclically from the §5.1 catalogue.
+    clusters_per_grid: int = 2
+    #: Estimate flow of every hierarchy ("pull" or "push").
+    routing: str = "pull"
+    #: Agent knobs shared by every MA/LA (None = defaults).  Set
+    #: ``heartbeat_interval`` here when churn is injected — push mode
+    #: relies on the heartbeat cascade to invalidate dead SeDs' rows.
+    agent_params: Optional[AgentParams] = None
+    #: SeD knobs shared by every SeD (None = defaults).
+    sed_params: Optional[SeDParams] = None
+
+    def __post_init__(self) -> None:
+        if self.n_grids < 1:
+            raise ValueError(f"n_grids must be >= 1, got {self.n_grids}")
+        if self.clusters_per_grid < 1:
+            raise ValueError(f"clusters_per_grid must be >= 1, "
+                             f"got {self.clusters_per_grid}")
+
+
+def federation_cluster_specs(n_grids: int,
+                             clusters_per_grid: int) -> List[ClusterSpec]:
+    """The §5.1 catalogue replicated across grids.
+
+    Site names gain a ``g{i}-`` prefix so each grid keeps its own site
+    routers (and NFS volumes) while sharing the single core the one
+    :func:`~repro.platform.grid5000.build_grid5000` call creates — a star
+    of grids instead of a star of sites.
+    """
+    specs: List[ClusterSpec] = []
+    for g in range(n_grids):
+        for c in range(clusters_per_grid):
+            base = PAPER_CLUSTERS[c % len(PAPER_CLUSTERS)]
+            specs.append(ClusterSpec(
+                site=f"g{g}-{base.site}", name=base.name,
+                machine_key=base.machine_key,
+                total_nodes=base.total_nodes, n_seds=base.n_seds,
+                efficiency=base.efficiency, wan_latency=base.wan_latency))
+    return specs
+
+
+@dataclass
+class FederatedGrid:
+    """One grid's hierarchy: its MA, LAs and SeDs."""
+
+    index: int
+    ma: MasterAgent
+    local_agents: List[LocalAgent] = field(default_factory=list)
+    seds: List[SeD] = field(default_factory=list)
+
+    def launch(self) -> None:
+        self.ma.launch()
+        for la in self.local_agents:
+            la.launch()
+        for sed in self.seds:
+            sed.launch()
+
+
+@dataclass
+class Federation:
+    """A built federation: shared fabric + one hierarchy per grid."""
+
+    engine: Engine
+    fabric: TransportFabric
+    tracer: Tracer
+    platform: Grid5000Platform
+    config: FederationConfig
+    grids: List[FederatedGrid] = field(default_factory=list)
+
+    @property
+    def ma_names(self) -> List[str]:
+        return [grid.ma.name for grid in self.grids]
+
+    @property
+    def seds(self) -> List[SeD]:
+        out: List[SeD] = []
+        for grid in self.grids:
+            out.extend(grid.seds)
+        return out
+
+    @property
+    def client_host(self) -> Host:
+        """The shared core-attached service node clients run on."""
+        return self.platform.client_host
+
+    def launch_all(self) -> None:
+        for grid in self.grids:
+            grid.launch()
+
+    def add_service_everywhere(self, make_desc, solve_func) -> None:
+        """Register ``make_desc()`` with ``solve_func`` on every SeD."""
+        for sed in self.seds:
+            sed.add_service(make_desc(), solve_func)
+
+
+def build_federation(engine: Engine, config: FederationConfig,
+                     obs: Optional[Observability] = None) -> Federation:
+    """Stand up ``config.n_grids`` MA hierarchies over one shared platform.
+
+    Each grid gets its own MA host attached to its first site's router
+    (mirroring the paper's Lyon service node, one per grid); the platform's
+    own ``lyon-ma`` fallback host hangs off the shared core and serves as
+    the federation-wide client host.
+    """
+    specs = federation_cluster_specs(config.n_grids, config.clusters_per_grid)
+    platform = build_grid5000(engine, specs)
+    fabric = TransportFabric(engine, platform.network)
+    tracer = Tracer(obs)
+    engine.obs = tracer.obs
+
+    federation = Federation(engine=engine, fabric=fabric, tracer=tracer,
+                            platform=platform, config=config)
+    for g in range(config.n_grids):
+        prefix = f"g{g}-"
+        clusters = [cluster for name, cluster in platform.clusters.items()
+                    if cluster.spec.site.startswith(prefix)]
+        if not clusters:
+            raise DietError(f"grid {g} built no clusters")
+        ma_host = platform.network.add_host(
+            Host(engine, f"{prefix}ma", speed=2.4))
+        site_router = platform.sites[clusters[0].spec.site].router
+        platform.network.connect(
+            ma_host.name, site_router.name,
+            Link(engine, f"lan-{prefix}ma", _LAN_LATENCY, _LAN_BW))
+        ma = MasterAgent(fabric, ma_host, name=f"MA{g}",
+                         params=config.agent_params, tracer=tracer,
+                         routing=config.routing)
+        grid = FederatedGrid(index=g, ma=ma)
+        for cluster in clusters:
+            la = LocalAgent(fabric, cluster.frontend,
+                            name=f"LA-{cluster.full_name}", parent=ma.name,
+                            params=config.agent_params, tracer=tracer,
+                            routing=config.routing)
+            ma.add_child(la.name)
+            grid.local_agents.append(la)
+            for host in cluster.sed_hosts:
+                sed = SeD(fabric, host, name=f"SeD-{host.name}",
+                          ma_name=ma.name, params=config.sed_params,
+                          tracer=tracer, nfs=cluster.nfs, parent=la.name,
+                          routing=config.routing)
+                la.add_child(sed.name)
+                grid.seds.append(sed)
+        federation.grids.append(grid)
+    return federation
+
+
+class FederatedClient:
+    """A client homed on one MA that fails over to sibling MAs.
+
+    Redirection policy: the home MA is tried first; a rejection
+    (``ServerNotFoundError`` — no candidate survived the grace period) or
+    an unreachable MA (``CommunicationError``) rotates to the next MA in
+    federation order.  The request fails only once every MA declined.
+    ``redirects`` counts submits retried on a sibling MA, ``rejections``
+    every per-MA refusal (also exported as the ``federation.redirects`` /
+    ``federation.rejections`` metrics when observability is on).
+    """
+
+    def __init__(self, fabric: TransportFabric, host: Host, name: str,
+                 ma_names: List[str], home: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 max_redirects: Optional[int] = None):
+        if not ma_names:
+            raise DietError("a FederatedClient needs at least one MA")
+        self.fabric = fabric
+        self.engine: Engine = fabric.engine
+        self.host = host
+        self.name = name
+        self.ma_names = list(ma_names)
+        self.home = home % len(self.ma_names)
+        self.tracer = tracer or Tracer()
+        #: None tries every MA once; otherwise at most this many siblings.
+        self.max_redirects = max_redirects
+        self.endpoint = fabric.endpoint(name, host.name)
+        self.endpoint.start()
+        self.redirects = 0
+        self.rejections = 0
+
+    def _ma_order(self) -> List[str]:
+        n = len(self.ma_names)
+        order = [self.ma_names[(self.home + i) % n] for i in range(n)]
+        if self.max_redirects is not None:
+            order = order[:self.max_redirects + 1]
+        return order
+
+    def call(self, profile: Profile
+             ) -> Generator[Event, Any, Tuple[int, str, float]]:
+        """Submit through the federation, then solve; a process helper.
+
+        Returns ``(status, sed_name, found_at)`` where ``found_at`` is the
+        simulated instant the winning submit reply arrived (finding time =
+        ``found_at - submit start``, redirects included).  Raises the last
+        MA's error when every MA declined; a SeD crash mid-solve raises
+        ``CommunicationError`` exactly like the single-MA client.
+        """
+        profile.validate_for_submit()
+        last_error: Optional[Exception] = None
+        obs = self.tracer.obs
+        for i, ma_name in enumerate(self._ma_order()):
+            request_id = self.fabric.new_request_id()
+            sub = SubmitRequest(request_id=request_id,
+                                service_desc=profile.desc,
+                                client_host=self.host.name,
+                                client_endpoint=self.endpoint.name,
+                                request_nbytes=profile.request_nbytes())
+            try:
+                sed_name, _est = yield from self.endpoint.rpc(
+                    ma_name, "submit", sub)
+            except (ServerNotFoundError, CommunicationError) as exc:
+                last_error = exc
+                self.rejections += 1
+                if obs.enabled:
+                    obs.metrics.counter("federation.rejections",
+                                        ma=ma_name).inc(1, self.engine.now)
+                if i + 1 < len(self._ma_order()):
+                    self.redirects += 1
+                    if obs.enabled:
+                        obs.metrics.counter("federation.redirects").inc(
+                            1, self.engine.now)
+                continue
+            found_at = self.engine.now
+            reply = yield from self.endpoint.rpc(
+                sed_name, "solve",
+                SolveRequest(request_id=request_id, profile=profile,
+                             client_endpoint=self.endpoint.name),
+                nbytes=profile.request_nbytes())
+            for index, value in reply.out_values.items():
+                profile.parameter(index).set(value)
+            return reply.status, sed_name, found_at
+        raise last_error if last_error is not None else ServerNotFoundError(
+            "no MA accepted the request")
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """SeD churn drawn for one run: how many outages, when, how long."""
+
+    #: Distinct SeD victims (one outage each — no overlap by construction).
+    n_outages: int
+    #: Crash instants are uniform over [start, end).
+    start: float
+    end: float
+    #: Exponential mean downtime, floored at ``min_downtime``.
+    mean_downtime: float = 5.0
+    min_downtime: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_outages < 0:
+            raise ValueError(f"n_outages must be >= 0, got {self.n_outages}")
+        if self.end < self.start:
+            raise ValueError(f"churn window ends ({self.end}) before it "
+                             f"starts ({self.start})")
+
+
+def schedule_churn(federation: Federation, plan: ChurnPlan,
+                   streams: RandomStreams) -> FailureInjector:
+    """Draw ``plan`` deterministically and arm the failure injector.
+
+    Victims are drawn without replacement across the whole federation (the
+    injector treats overlapping outages of one victim as a caller bug), so
+    at most every SeD crashes once.
+    """
+    injector = FailureInjector(federation.engine)
+    seds = federation.seds
+    n = min(plan.n_outages, len(seds))
+    if n == 0:
+        return injector
+    rng = streams.get("federation", "churn")
+    victims = rng.choice(len(seds), size=n, replace=False)
+    crash_ats = rng.uniform(plan.start, plan.end, size=n)
+    downtimes = np.maximum(plan.min_downtime,
+                           rng.exponential(plan.mean_downtime, size=n))
+    for idx, at, downtime in zip(victims, crash_ats, downtimes):
+        injector.schedule(seds[int(idx)],
+                          [Outage(float(at), float(downtime))])
+    return injector

@@ -228,6 +228,11 @@ class SeD:
             now = self.engine.now
             obs.spans.mark(f"sed:{self.name}", "restart", now, sed=self.name)
             obs.metrics.counter("sed.restarts", sed=self.name).inc(1, now)
+        # A push pump armed before the crash belongs to the dead
+        # incarnation (it will see the endpoint swap below and exit without
+        # touching state); its dirty flag must not suppress this
+        # incarnation's first re-announce push.
+        self._push_dirty = False
         self.endpoint = self.fabric.endpoint(self.name, self.host.name)
         self.tracing = self.endpoint.pipeline.add(
             TracingInterceptor(self.tracer, self.log_central))
@@ -269,19 +274,27 @@ class SeD:
                 or not self._launched or self._push_dirty):
             return
         self._push_dirty = True
-        self.engine.process(self._push_pump(), name=f"push:{self.name}")
+        self.engine.process(self._push_pump(self.endpoint),
+                            name=f"push:{self.name}")
 
-    def _push_pump(self) -> Generator[Event, Any, None]:
+    def _push_pump(self, endpoint: Endpoint) -> Generator[Event, Any, None]:
         """Pay one CoRI probe, then push fresh vectors for every service.
 
         Runs as a standalone process (not an endpoint handler), so it
         guards its own liveness: a crash while the probe was sleeping ends
-        the pump silently.  The send is best-effort — a dead parent is the
-        heartbeat monitor's problem.
+        the pump silently.  ``endpoint`` is pinned at arm time — if a
+        crash/restart cycle completed during the probe sleep, the pump
+        belongs to the dead incarnation: it must neither send through the
+        new endpoint (its registration may not have landed) nor clear the
+        new incarnation's dirty flag (``restart()`` reset it; a fresh pump
+        from the re-announce may already be pending).  The send is
+        best-effort — a dead parent is the heartbeat monitor's problem.
         """
         yield self.engine.timeout(self.params.estimate_collect_time)
+        if endpoint is not self.endpoint:
+            return  # stale incarnation: exit without touching state
         self._push_dirty = False
-        if self._crashed or self.endpoint.closed:
+        if self._crashed or endpoint.closed:
             return
         n_jobs = self.n_jobs
         updates = []

@@ -10,6 +10,7 @@ from . import (
     figure3_zoom,
     figure4,
     figure5,
+    load_federation,
     overhead,
     runner,
     scaling_nodes,
@@ -30,6 +31,7 @@ __all__ = [
     "figure4",
     "figure5",
     "hms",
+    "load_federation",
     "ms",
     "overhead",
     "runner",

@@ -1,0 +1,284 @@
+"""E13 — federated load sweep: saturation throughput and tail latency.
+
+The production analogue of Figure 5.  A multi-MA federation
+(:mod:`repro.core.federation`) is driven by an open-loop Poisson stream
+(:mod:`repro.sim.traffic`) of heterogeneous requests from a Zipf-skewed
+client population, with SeD churn injected mid-run.  Each load point
+reports what a capacity plan needs: achieved throughput (completed
+requests over the makespan — past saturation this flattens at capacity
+while offered load keeps climbing), P50/P99 finding time (submit →
+winning MA reply, inter-MA redirects included) and P50/P99 end-to-end
+latency, per routing mode.  ``peak_heap`` tracks the event-heap
+high-water mark — the regression guard for the park-watchdog leak that
+used to grow the heap by one dead timer per admitted-after-park request.
+
+Every point is a pure function of its arguments, so the sweep runs under
+``--jobs`` with byte-identical results, and the same seed reruns
+bit-identically with observability on or off.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.agent import ROUTING_MODES, AgentParams
+from ..core.data import BaseType, scalar_desc
+from ..core.exceptions import CommunicationError, ServerNotFoundError
+from ..core.federation import (
+    ChurnPlan,
+    FederatedClient,
+    FederationConfig,
+    build_federation,
+    schedule_churn,
+)
+from ..core.profile import ProfileDesc
+from ..obs import Observability
+from ..sim.engine import Engine
+from ..sim.rng import RandomStreams
+from ..sim.traffic import DEFAULT_MIX, TrafficConfig, generate_arrivals, percentile
+from .report import ascii_table, ms
+from .runner import Task, derive_seed, run_tasks
+
+__all__ = ["LoadPoint", "LoadResult", "DEFAULT_LOADS", "run", "render"]
+
+#: Offered loads (requests/s) swept by default; the default platform
+#: (2 grids x 2 clusters = 6 SeDs, ~1.2 s mean solve) saturates near the
+#: middle of the range.
+DEFAULT_LOADS: Tuple[float, ...] = (2.0, 4.0, 8.0, 16.0)
+
+#: Seconds between event-heap high-water-mark samples.
+_HEAP_SAMPLE_PERIOD = 0.5
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One (routing, offered load) measurement."""
+
+    routing: str
+    offered: float
+    duration: float
+    n_arrivals: int
+    completed: int
+    failed: int
+    rejected: int
+    redirects: int
+    makespan: float
+    throughput: float
+    find_p50: float
+    find_p99: float
+    latency_p50: float
+    latency_p99: float
+    peak_heap: int
+    events: int
+    #: Span store when the point ran with observability (None otherwise);
+    #: excluded from equality so observe on/off results compare equal.
+    span_store: Any = field(default=None, compare=False)
+
+
+@dataclass
+class LoadResult:
+    """The full sweep: every (routing, load) point plus its shape."""
+
+    loads: Tuple[float, ...]
+    routings: Tuple[str, ...]
+    duration: float
+    n_clients: int
+    n_grids: int
+    clusters_per_grid: int
+    churn: int
+    runs: List[LoadPoint] = field(default_factory=list)
+
+    def points(self, routing: str) -> List[LoadPoint]:
+        return [p for p in self.runs if p.routing == routing]
+
+    def saturation(self, routing: str) -> float:
+        """Best achieved throughput across the sweep (requests/s)."""
+        points = self.points(routing)
+        return max(p.throughput for p in points) if points else 0.0
+
+
+def _service_desc(name: str) -> ProfileDesc:
+    desc = ProfileDesc(name, 0, 0, 1)
+    desc.set_arg(0, scalar_desc(BaseType.INT))
+    desc.set_arg(1, scalar_desc(BaseType.INT))
+    return desc
+
+
+def _make_solver(work: float):
+    def solve(profile, ctx):
+        yield from ctx.execute(work)
+        profile.parameter(1).set(0)
+        return 0
+
+    return solve
+
+
+def _run_point(routing: str, offered: float, duration: float,
+               n_clients: int, n_grids: int, clusters_per_grid: int,
+               churn: int, seed: int, observe: bool = False) -> LoadPoint:
+    """One load point, a pure function of its arguments (worker-safe)."""
+    engine = Engine()
+    obs = Observability() if observe else None
+    agent_params = (AgentParams(heartbeat_interval=1.0) if churn > 0
+                    else AgentParams())
+    federation = build_federation(
+        engine,
+        FederationConfig(n_grids=n_grids,
+                         clusters_per_grid=clusters_per_grid,
+                         routing=routing, agent_params=agent_params),
+        obs=obs)
+    for cls in DEFAULT_MIX:
+        federation.add_service_everywhere(
+            lambda name=cls.name: _service_desc(name),
+            _make_solver(cls.work))
+    federation.launch_all()
+
+    streams = RandomStreams(seed)
+    arrivals = generate_arrivals(
+        TrafficConfig(rate=offered, duration=duration, n_clients=n_clients),
+        streams)
+    if churn > 0:
+        schedule_churn(
+            federation,
+            ChurnPlan(n_outages=churn, start=duration * 0.25,
+                      end=duration * 0.75),
+            streams)
+
+    clients = [FederatedClient(federation.fabric, federation.client_host,
+                               name=f"fedcli{g}",
+                               ma_names=federation.ma_names, home=g,
+                               tracer=federation.tracer)
+               for g in range(n_grids)]
+    descs = {cls.name: _service_desc(cls.name) for cls in DEFAULT_MIX}
+
+    stats: Dict[str, int] = {"completed": 0, "failed": 0, "rejected": 0}
+    finds: List[float] = []
+    latencies: List[float] = []
+
+    def one_request(arrival):
+        profile = descs[arrival.request_class.name].instantiate()
+        profile.parameter(0).set(1)
+        profile.parameter(1).set(None)
+        started = engine.now
+        client = clients[arrival.client % len(clients)]
+        try:
+            status, _sed, found_at = yield from client.call(profile)
+        except ServerNotFoundError:
+            stats["rejected"] += 1
+            return
+        except CommunicationError:
+            stats["failed"] += 1  # SeD died mid-solve, job lost
+            return
+        finds.append(found_at - started)
+        latencies.append(engine.now - started)
+        if status == 0:
+            stats["completed"] += 1
+        else:
+            stats["failed"] += 1
+
+    peak = {"heap": 0}
+
+    def heap_monitor():
+        while True:
+            peak["heap"] = max(peak["heap"], len(engine._queue))
+            yield engine.timeout(_HEAP_SAMPLE_PERIOD)
+
+    def drive():
+        procs = []
+        for arrival in arrivals:
+            delay = arrival.at - engine.now
+            if delay > 0:
+                yield engine.timeout(delay)
+            procs.append(engine.process(one_request(arrival)))
+        if procs:
+            yield engine.all_of(procs)
+
+    engine.process(heap_monitor(), name="heap-monitor")
+    # run_until_complete: heartbeats and the monitor never finish.
+    engine.run_until_complete(drive())
+    makespan = engine.now
+
+    return LoadPoint(
+        routing=routing, offered=offered, duration=duration,
+        n_arrivals=len(arrivals), completed=stats["completed"],
+        failed=stats["failed"], rejected=stats["rejected"],
+        redirects=sum(c.redirects for c in clients),
+        makespan=makespan,
+        throughput=stats["completed"] / makespan if makespan > 0 else 0.0,
+        find_p50=percentile(finds, 50.0) if finds else float("nan"),
+        find_p99=percentile(finds, 99.0) if finds else float("nan"),
+        latency_p50=percentile(latencies, 50.0) if latencies else float("nan"),
+        latency_p99=percentile(latencies, 99.0) if latencies else float("nan"),
+        peak_heap=peak["heap"], events=engine.events_scheduled,
+        span_store=obs.spans if obs is not None else None)
+
+
+def run(loads: Sequence[float] = DEFAULT_LOADS,
+        routings: Sequence[str] = ROUTING_MODES,
+        duration: float = 60.0, n_clients: int = 1000,
+        n_grids: int = 2, clusters_per_grid: int = 2, churn: int = 2,
+        seed: int = 2007, jobs: Optional[int] = None,
+        observe: bool = False) -> LoadResult:
+    """Sweep every (routing, load) point; parallel == serial byte for byte.
+
+    ``jobs`` fans the points over worker processes; each point is a pure
+    function of its arguments, so results are identical in task order.
+    """
+    tasks = [Task(key=f"{routing}@{load:g}", func=_run_point,
+                  args=(routing, float(load), float(duration), n_clients,
+                        n_grids, clusters_per_grid, churn, seed, observe),
+                  seed=derive_seed(seed, i))
+             for i, (routing, load) in enumerate(
+                 (r, l) for r in routings for l in loads)]
+    # Detach each point through a pickle round trip: worker results arrive
+    # detached (their strings/floats share nothing with this process), so
+    # serial points must shed their shared references too or the two sweeps
+    # pickle to different bytes despite equal values.
+    points = [pickle.loads(pickle.dumps(point))
+              for point in run_tasks(tasks, jobs=jobs)]
+    return LoadResult(loads=tuple(float(l) for l in loads),
+                      routings=tuple(routings), duration=float(duration),
+                      n_clients=n_clients, n_grids=n_grids,
+                      clusters_per_grid=clusters_per_grid, churn=churn,
+                      runs=list(points))
+
+
+def _sec(v: float) -> str:
+    return f"{v:.2f}s" if v == v else "-"  # NaN-safe
+
+
+def _ms(v: float) -> str:
+    return ms(v) if v == v else "-"  # NaN-safe
+
+
+def render(result: LoadResult) -> str:
+    lines = [
+        f"E13 - federated load sweep: {result.n_grids} grids x "
+        f"{result.clusters_per_grid} clusters, {result.n_clients} clients "
+        f"(Zipf), {result.churn} SeD outages, {result.duration:g}s of "
+        f"open-loop arrivals",
+    ]
+    for routing in result.routings:
+        rows = []
+        for p in result.points(routing):
+            rows.append((f"{p.offered:g}", p.n_arrivals, p.completed,
+                         p.rejected, p.failed, p.redirects,
+                         f"{p.throughput:.2f}",
+                         _ms(p.find_p50), _ms(p.find_p99),
+                         _sec(p.latency_p50), _sec(p.latency_p99),
+                         p.peak_heap))
+        lines.append("")
+        lines.append(f"routing={routing}")
+        lines.append(ascii_table(
+            ("offered/s", "arrived", "done", "rej", "lost", "redir",
+             "thrpt/s", "find p50", "find p99", "lat p50", "lat p99",
+             "peak heap"), rows))
+    lines.append("")
+    for routing in result.routings:
+        lines.append(f"{routing} saturation throughput: "
+                     f"{result.saturation(routing):.2f} requests/s")
+    redirected = sum(p.redirects for p in result.runs)
+    lines.append(f"inter-MA redirects across the sweep: {redirected}")
+    return "\n".join(lines)

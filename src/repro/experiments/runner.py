@@ -116,10 +116,20 @@ def collect_span_stores(results: Sequence[Any]) -> List[Any]:
     tracer, so a parallel sweep's worth of span stores can be fed to
     :func:`repro.obs.profile_report` exactly like a serial run's.  Results
     without an enabled, non-empty store are skipped.
+
+    Two result shapes are understood: campaign results reach their store
+    through ``tracer.obs`` (``span_store`` is a *method* there), while
+    per-point sweep results (E13's ``LoadPoint``) carry the detached store
+    directly in a ``span_store`` attribute.
     """
     stores: List[Any] = []
     for result in results:
         if result is None:
+            continue
+        store = getattr(result, "span_store", None)
+        if store is not None and not callable(store):
+            if getattr(store, "spans", None):
+                stores.append(store)
             continue
         tracer = getattr(result, "tracer", None)
         if tracer is None:

@@ -27,11 +27,21 @@ from .failures import FailureInjector, Outage, OutageRecord
 from .network import Host, Link, Network, NetworkError
 from .resources import Container, Request, Resource, Store
 from .rng import RandomStreams, stable_seed
+from .traffic import (
+    DEFAULT_MIX,
+    Arrival,
+    RequestClass,
+    TrafficConfig,
+    generate_arrivals,
+    zipf_weights,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Arrival",
     "Container",
+    "DEFAULT_MIX",
     "Engine",
     "Event",
     "FailureInjector",
@@ -48,9 +58,13 @@ __all__ = [
     "PRIORITY_URGENT",
     "RandomStreams",
     "Request",
+    "RequestClass",
     "Resource",
     "SimulationError",
     "Store",
     "Timeout",
+    "TrafficConfig",
+    "generate_arrivals",
     "stable_seed",
+    "zipf_weights",
 ]

@@ -1,0 +1,79 @@
+"""E13 end to end: federated load sweep acceptance properties.
+
+The sweep must rerun bit-identically (serial vs ``--jobs``, observability
+on vs off, both routing modes, SeD churn active), report saturation, and —
+the park-watchdog regression guard — keep the push-mode event heap bounded
+at the quick-mode's largest load point.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import load_federation
+from repro.experiments.runner import canonical_pickle
+
+LOADS = (3.0, 8.0)
+KW = dict(loads=LOADS, duration=15.0, n_clients=500, churn=1, seed=17)
+
+
+def stripped(result):
+    """The result with span stores dropped (observe on/off comparable)."""
+    return dataclasses.replace(
+        result,
+        runs=[dataclasses.replace(p, span_store=None) for p in result.runs])
+
+
+class TestFederatedLoadSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return load_federation.run(**KW)
+
+    def test_covers_both_routings_under_churn(self, result):
+        assert set(p.routing for p in result.runs) == {"pull", "push"}
+        for routing in result.routings:
+            points = result.points(routing)
+            assert len(points) == len(LOADS)
+            assert all(p.n_arrivals > 0 and p.completed > 0 for p in points)
+            assert result.saturation(routing) > 0
+
+    def test_open_loop_saturates(self, result):
+        """Offered load beyond capacity must not inflate throughput: the
+        6-SeD platform (~1.2 s mean solve) caps near 5 requests/s, so the
+        8 req/s point achieves well under what was offered."""
+        for routing in result.routings:
+            top = result.points(routing)[-1]
+            assert top.offered == LOADS[-1]
+            assert top.throughput < 0.9 * top.offered
+            assert top.makespan > result.duration   # backlog drains late
+
+    def test_rerun_is_bit_identical(self, result):
+        again = load_federation.run(**KW)
+        assert canonical_pickle(again) == canonical_pickle(result)
+
+    def test_parallel_is_byte_identical_to_serial(self, result):
+        parallel = load_federation.run(**KW, jobs=2)
+        assert canonical_pickle(parallel) == canonical_pickle(result)
+
+    def test_observability_does_not_perturb_results(self, result):
+        observed = load_federation.run(**KW, observe=True)
+        assert all(p.span_store for p in observed.runs)
+        assert canonical_pickle(stripped(observed)) == \
+            canonical_pickle(result)
+
+    def test_push_heap_stays_bounded_at_peak_load(self, result):
+        """The park-watchdog fix: admitted submits must not each leave a
+        dead child_timeout timer in the heap.  At the largest quick-mode
+        point (~120 arrivals) the leak would push the high-water mark past
+        the arrival count; the single-sweeper design keeps it near the
+        platform's standing process count."""
+        top = [p for p in result.points("push") if p.offered == LOADS[-1]][0]
+        assert top.peak_heap < 128
+        assert top.peak_heap < top.n_arrivals
+
+    def test_render_reports_saturation_and_redirects(self, result):
+        text = load_federation.render(result)
+        assert "saturation throughput" in text
+        assert "inter-MA redirects" in text
+        for routing in result.routings:
+            assert f"routing={routing}" in text

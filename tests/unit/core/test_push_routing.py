@@ -314,6 +314,131 @@ class TestDeregRacingInFlightRequest:
         assert sched[2]["n_candidates"] == 2
 
 
+class TestParkWatchdogHeapFootprint:
+    def test_no_residual_timer_per_admitted_submit(self):
+        # 64 cold-start submits all park before the launch pushes land and
+        # are then rescued and admitted.  The park machinery must not leave
+        # one dead child_timeout timer per admitted request on the event
+        # heap — the old per-item watchdogs slept the full grace period
+        # regardless, an O(in-flight) heap leak at load.
+        engine, _, ma, _, _, cli = build(
+            agent_params=AgentParams(child_timeout=10.0))
+        results = []
+
+        def one():
+            results.append((yield from submit(cli)))
+
+        def burst():
+            procs = [engine.process(one()) for _ in range(64)]
+            yield engine.all_of(procs)
+
+        # stop at burst completion — running the queue dry would let even
+        # leaked watchdog timers fire and hide the footprint
+        engine.run_until_complete(burst())
+        assert len(results) == 64
+        assert ma.rejections == 0
+        # one sweeper timer plus a handful of transport residues — the old
+        # code left >= 64 dead watchdog timers here
+        assert len(engine._queue) <= 8
+
+
+class TestParkedRescueFilter:
+    def test_pure_removal_does_not_requeue_parked(self):
+        engine, _, ma, _, _, cli = build(
+            agent_params=AgentParams(child_timeout=60.0))
+        engine.run()
+        state = {}
+
+        def call():
+            try:
+                yield from submit(cli, ProfileDesc("ghost", 0, 0, 0))
+            except ServerNotFoundError:
+                state["outcome"] = "rejected"
+
+        def driver():
+            yield engine.timeout(1.0)
+            state["parked_before"] = len(ma._parked)
+            # churn cascade: rows only disappear, nothing gained
+            ma.remove_child("LA0")
+            state["parked_now"] = len(ma._parked)
+
+        engine.process(call(), name="call")
+        engine.run_until_complete(driver())
+        assert state["parked_before"] == 1
+        # the old code drained _parked into the admission store on *any*
+        # table change, burning an admission batch to re-park it
+        assert state["parked_now"] == 1
+        assert "outcome" not in state  # still parked, not rejected
+
+    def test_gaining_update_rescues_matching_service_only(self):
+        engine, _, ma, _, _, cli = build(
+            agent_params=AgentParams(child_timeout=60.0))
+        engine.run()
+        res = {}
+
+        def call(tag, name):
+            try:
+                res[tag] = yield from submit(cli, ProfileDesc(name, 0, 0, 0))
+            except ServerNotFoundError:
+                res[tag] = "rejected"
+
+        state = {}
+
+        def driver():
+            yield engine.timeout(1.0)
+            state["parked_before"] = len(ma._parked)
+            # a SeD of the "ghost" service appears behind LA1
+            from repro.core.scheduling import EstimationVector
+            delta = EstimateDelta(
+                "LA1", [("ghost", EstimationVector("SeD10"),
+                         "sed10-host", 999)])
+            list(ma._handle_est_delta(type("M", (), {"payload": delta})))
+            state["parked_now"] = len(ma._parked)
+            yield engine.timeout(1.0)  # admission batch runs
+
+        engine.process(call("ghost", "ghost"), name="g")
+        engine.process(call("phantom", "phantom"), name="p")
+        engine.run_until_complete(driver())
+        assert state["parked_before"] == 2
+        assert state["parked_now"] == 1          # phantom stays parked
+        assert res.get("ghost") == "SeD10"       # ghost was admitted
+        assert "phantom" not in res              # neither admitted nor rejected
+
+
+class TestCrashDuringPushPump:
+    @pytest.mark.parametrize("routing", ["pull", "push"])
+    def test_crash_mid_pump_restart_reannounces(self, routing):
+        engine, _, ma, las, seds, cli = build(routing=routing)
+        engine.run()
+        victim = seds[0]
+        collect = victim.params.estimate_collect_time
+
+        def scenario():
+            victim._schedule_push()      # arm a pump; guard no-op in pull
+            yield engine.timeout(collect / 2)
+            victim.crash()               # mid-probe: the pump is sleeping
+            las[0].remove_child(victim.name)
+            yield engine.timeout(collect / 4)
+            victim.restart()             # before the stale pump wakes
+
+        engine.run_process(scenario())
+        engine.run()  # stale pump exits silently; re-announce propagates
+        if routing == "push":
+            # restart cleared the stale dirty flag, so the re-announce push
+            # was not suppressed: the SeD is visible again at the MA
+            rows = {r.sed_name for r in ma.table.candidates("toy")}
+            assert victim.name in rows
+            assert not victim._push_dirty
+        chosen = set()
+
+        def calls():
+            for _ in range(8):
+                chosen.add((yield from submit(cli)))
+
+        engine.run_process(calls())
+        assert victim.name in chosen
+
+
 class TestRejectionObservability:
     @pytest.mark.parametrize("routing", ["pull", "push"])
     def test_rejection_counter_and_event(self, routing):

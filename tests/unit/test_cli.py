@@ -25,6 +25,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--policy", "quantum"])
 
+    def test_load_options(self):
+        args = build_parser().parse_args(
+            ["load", "--loads", "1,5", "--duration", "10", "--clients",
+             "200", "--grids", "3", "--churn", "0", "--jobs", "2"])
+        assert args.command == "load"
+        assert args.loads == "1,5"
+        assert args.duration == 10.0
+        assert args.clients == 200
+        assert args.grids == 3
+        assert args.churn == 0
+        assert args.jobs == 2
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -48,3 +60,10 @@ class TestMain:
         assert "speedup" in out
         with open(path) as fh:
             assert len(fh.readlines()) == 7   # header + part1 + 5 zooms
+
+    def test_load_quick_run(self, capsys):
+        assert main(["load", "--loads", "3", "--duration", "5",
+                     "--clients", "50", "--churn", "0", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "saturation throughput" in out
+        assert "routing=pull" in out and "routing=push" in out
