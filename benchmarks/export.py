@@ -50,12 +50,14 @@ def run_bench(name: str) -> dict:
         report = json.loads(report_path.read_text())
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.ramses.physcore import PHYS_IMPL
     from repro.sim.simcore import HEAP_IMPL
 
     doc = {
         "meta": {
             "bench": name,
             "heap_impl": HEAP_IMPL,
+            "phys_impl": PHYS_IMPL,
             "quick": bool(os.environ.get("REPRO_BENCH_QUICK")),
             "python": ".".join(map(str, sys.version_info[:3])),
         },

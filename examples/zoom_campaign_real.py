@@ -3,7 +3,7 @@
 
 Same two-part campaign as the quickstart, but in REAL execution mode: the
 SeDs genuinely run the Python GRAFIC -> RAMSES -> GALICS pipeline at toy
-scale (16^3 particles).  Part 1 produces a real FoF halo catalog on disk;
+scale (32^3 particles).  Part 1 produces a real FoF halo catalog on disk;
 the client decodes it and launches zoom re-simulations of the most massive
 halos; results come back as real .tar.gz archives containing Fortran-record
 snapshots and halo catalogs.
@@ -27,7 +27,7 @@ def main() -> None:
     workdir = tempfile.mkdtemp(prefix="zoom-campaign-")
     config = CampaignConfig(
         n_sub_simulations=4,
-        resolution=16,
+        resolution=32,
         boxsize_mpc_h=50,
         n_zoom_levels=1,
         mode=ExecutionMode.REAL,
@@ -36,7 +36,7 @@ def main() -> None:
         real_a_end=1.0,
         seed=13)
 
-    print(f"Running a REAL-mode campaign (16^3 toy scale) in {workdir} ...")
+    print(f"Running a REAL-mode campaign (32^3 toy scale) in {workdir} ...")
     result = run_campaign(config)
 
     catalog_path = os.path.join(workdir, "zoom1-0001", "halo_catalog.dat")

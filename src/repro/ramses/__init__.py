@@ -21,11 +21,12 @@ from .io import (
     snapshot_paths,
     write_snapshot,
 )
-from .mesh import cic_deposit, cic_interpolate, density_contrast
+from .mesh import cic_deposit, cic_interpolate, cic_weights, density_contrast
 from .namelist import Namelist, format_namelist, parse_namelist
 from .parallel import MpiCostModel, ParallelStepModel, StepBreakdown, scaling_curve
 from .riemann import PrimitiveState, exact_riemann, sample_riemann, sod_states
 from .particles import ParticleSet
+from .physcore import PHYS_IMPL
 from .poisson import (
     acceleration_from_source,
     gradient_spectral,
@@ -78,8 +79,10 @@ __all__ = [
     "ZoomSpec",
     "acceleration_from_source",
     "build_amr",
+    "PHYS_IMPL",
     "cic_deposit",
     "cic_interpolate",
+    "cic_weights",
     "config_from_namelist",
     "decompose",
     "density_contrast",

@@ -1,0 +1,496 @@
+/* Physics kernel hot core: CIC scatter/gather, leapfrog kick/drift, FoF.
+ *
+ * A REAL-mode campaign spends its wall-clock in four numpy hot paths:
+ * the 8-pass `np.add.at` CIC deposit, the mirrored 8-pass gather, the
+ * kick/drift array temporaries, and the cKDTree -> COO -> connected
+ * components FoF chain.  This module keeps those loops in C:
+ *
+ * cic_deposit(i0, frac, mass, grid, n)
+ *   Scatter particle masses onto the n^3 periodic grid.  The per-axis
+ *   wrapped indices and weight pairs are computed once per particle into
+ *   scratch arrays, then the 8 corner passes accumulate directly into
+ *   the grid.  The accumulation is CORNER-MAJOR (all particles' corner
+ *   (0,0,0) contributions, then corner (0,0,1), ...), matching the
+ *   numpy mirror's pass order addend for addend, so the resulting grid
+ *   is bit-identical to the pure-Python implementation.
+ *
+ * cic_gather(i0, frac, field, out, n, ncomp)
+ *   Gather a scalar (ncomp == 1) or C-component grid field at the
+ *   particles.  One pass over particles; the 8 corner contributions are
+ *   added per output slot in the same corner order the mirror's
+ *   `out += field[ix, iy, iz] * w` passes use — bit-identical again.
+ *
+ * kick(p, acc, coef, m) / drift(x, p, coef, m)
+ *   The leapfrog updates without array temporaries.  `drift` fuses the
+ *   displacement, the periodic wrap (numpy `mod(x, 1.0)` semantics:
+ *   fmod, negative results shifted by the modulus, exact zeros
+ *   normalised to +0.0) and the max-displacement reduction into one
+ *   pass and returns the max.
+ *
+ * fof(x, ll, labels)
+ *   Friends-of-friends grouping on the periodic unit box: particles are
+ *   binned into a cell grid with cell size >= the linking length, pairs
+ *   are tested against the 27-cell neighbourhood (min-image metric,
+ *   d^2 <= ll^2 exactly like scipy's periodic cKDTree), and groups are
+ *   merged with union-find.  Labels are canonicalised to first-
+ *   occurrence order (the component containing the lowest particle
+ *   index gets label 0, ...), which is also the order scipy's
+ *   connected_components assigns — so the labelling matches the numpy
+ *   mirror exactly, not just up to permutation.
+ *
+ * Built on first import by repro.ramses.physcore via repro.sim.cbuild;
+ * that module falls back to the numpy implementations when no C
+ * toolchain is available, and the kernel test suite runs against both.
+ * All arrays cross the boundary through the buffer protocol (C
+ * contiguous, 8-byte items), so the extension needs no numpy headers.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Buffer helpers                                                     */
+/* ------------------------------------------------------------------ */
+
+static int
+get_buf(PyObject *obj, Py_buffer *view, int writable, Py_ssize_t nbytes,
+        const char *what)
+{
+    int flags = PyBUF_C_CONTIGUOUS | (writable ? PyBUF_WRITABLE : 0);
+    if (PyObject_GetBuffer(obj, view, flags) < 0)
+        return -1;
+    if (view->len != nbytes) {
+        PyErr_Format(PyExc_ValueError, "%s: expected %zd bytes, got %zd",
+                     what, nbytes, view->len);
+        PyBuffer_Release(view);
+        return -1;
+    }
+    return 0;
+}
+
+/* Python-style non-negative modulus for wrapped cell indices. */
+static inline int64_t
+wrap_mod(int64_t v, int64_t n)
+{
+    int64_t r = v % n;
+    return r < 0 ? r + n : r;
+}
+
+/* ------------------------------------------------------------------ */
+/* CIC scatter / gather                                               */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+py_cic_deposit(PyObject *self, PyObject *args)
+{
+    PyObject *i0_obj, *frac_obj, *mass_obj, *grid_obj;
+    Py_ssize_t npart;
+    long n;
+    if (!PyArg_ParseTuple(args, "OOOOnl", &i0_obj, &frac_obj, &mass_obj,
+                          &grid_obj, &npart, &n))
+        return NULL;
+    if (n < 1) {
+        PyErr_SetString(PyExc_ValueError, "grid size must be >= 1");
+        return NULL;
+    }
+    Py_buffer i0b, fracb, massb, gridb;
+    if (get_buf(i0_obj, &i0b, 0, npart * 3 * 8, "i0") < 0)
+        return NULL;
+    if (get_buf(frac_obj, &fracb, 0, npart * 3 * 8, "frac") < 0)
+        goto fail1;
+    if (get_buf(mass_obj, &massb, 0, npart * 8, "mass") < 0)
+        goto fail2;
+    if (get_buf(grid_obj, &gridb, 1, (Py_ssize_t)n * n * n * 8, "grid") < 0)
+        goto fail3;
+    {
+        const int64_t *i0 = (const int64_t *)i0b.buf;
+        const double *frac = (const double *)fracb.buf;
+        const double *mass = (const double *)massb.buf;
+        double *grid = (double *)gridb.buf;
+        Py_ssize_t N = npart;
+        /* Per-particle scratch: wrapped index pair and weight pair per
+         * axis, computed once (the mirror recomputes them per pass). */
+        int64_t *idx = PyMem_Malloc((size_t)(N ? N : 1) * 6 * sizeof(int64_t));
+        double *wgt = PyMem_Malloc((size_t)(N ? N : 1) * 6 * sizeof(double));
+        if (idx == NULL || wgt == NULL) {
+            PyMem_Free(idx);
+            PyMem_Free(wgt);
+            PyBuffer_Release(&gridb);
+            PyErr_NoMemory();
+            goto fail3;
+        }
+        int64_t *ix0 = idx, *ix1 = idx + N, *iy0 = idx + 2 * N,
+                *iy1 = idx + 3 * N, *iz0 = idx + 4 * N, *iz1 = idx + 5 * N;
+        double *wx0 = wgt, *wx1 = wgt + N, *wy0 = wgt + 2 * N,
+               *wy1 = wgt + 3 * N, *wz0 = wgt + 4 * N, *wz1 = wgt + 5 * N;
+        for (Py_ssize_t p = 0; p < N; p++) {
+            int64_t ax = i0[3 * p], ay = i0[3 * p + 1], az = i0[3 * p + 2];
+            ix0[p] = wrap_mod(ax, n);
+            ix1[p] = wrap_mod(ax + 1, n);
+            iy0[p] = wrap_mod(ay, n);
+            iy1[p] = wrap_mod(ay + 1, n);
+            iz0[p] = wrap_mod(az, n);
+            iz1[p] = wrap_mod(az + 1, n);
+            wx1[p] = frac[3 * p];
+            wx0[p] = 1.0 - frac[3 * p];
+            wy1[p] = frac[3 * p + 1];
+            wy0[p] = 1.0 - frac[3 * p + 1];
+            wz1[p] = frac[3 * p + 2];
+            wz0[p] = 1.0 - frac[3 * p + 2];
+        }
+        /* Corner-major accumulation: same addend order per cell as the
+         * numpy mirror's (dx, dy, dz) passes -> bit-identical grid. */
+        for (int corner = 0; corner < 8; corner++) {
+            const int64_t *ix = (corner & 4) ? ix1 : ix0;
+            const int64_t *iy = (corner & 2) ? iy1 : iy0;
+            const int64_t *iz = (corner & 1) ? iz1 : iz0;
+            const double *wx = (corner & 4) ? wx1 : wx0;
+            const double *wy = (corner & 2) ? wy1 : wy0;
+            const double *wz = (corner & 1) ? wz1 : wz0;
+            for (Py_ssize_t p = 0; p < N; p++) {
+                grid[(ix[p] * n + iy[p]) * n + iz[p]] +=
+                    mass[p] * wx[p] * wy[p] * wz[p];
+            }
+        }
+        PyMem_Free(idx);
+        PyMem_Free(wgt);
+    }
+    PyBuffer_Release(&gridb);
+    PyBuffer_Release(&massb);
+    PyBuffer_Release(&fracb);
+    PyBuffer_Release(&i0b);
+    Py_RETURN_NONE;
+fail3:
+    PyBuffer_Release(&massb);
+fail2:
+    PyBuffer_Release(&fracb);
+fail1:
+    PyBuffer_Release(&i0b);
+    return NULL;
+}
+
+static PyObject *
+py_cic_gather(PyObject *self, PyObject *args)
+{
+    PyObject *i0_obj, *frac_obj, *field_obj, *out_obj;
+    Py_ssize_t npart, ncomp;
+    long n;
+    if (!PyArg_ParseTuple(args, "OOOOnln", &i0_obj, &frac_obj, &field_obj,
+                          &out_obj, &npart, &n, &ncomp))
+        return NULL;
+    if (n < 1 || ncomp < 1) {
+        PyErr_SetString(PyExc_ValueError, "bad grid size or component count");
+        return NULL;
+    }
+    Py_buffer i0b, fracb, fieldb, outb;
+    if (get_buf(i0_obj, &i0b, 0, npart * 3 * 8, "i0") < 0)
+        return NULL;
+    if (get_buf(frac_obj, &fracb, 0, npart * 3 * 8, "frac") < 0)
+        goto fail1;
+    if (get_buf(field_obj, &fieldb, 0,
+                (Py_ssize_t)n * n * n * ncomp * 8, "field") < 0)
+        goto fail2;
+    if (get_buf(out_obj, &outb, 1, npart * ncomp * 8, "out") < 0)
+        goto fail3;
+    {
+        const int64_t *i0 = (const int64_t *)i0b.buf;
+        const double *frac = (const double *)fracb.buf;
+        const double *field = (const double *)fieldb.buf;
+        double *out = (double *)outb.buf;
+        for (Py_ssize_t p = 0; p < npart; p++) {
+            int64_t ix[2], iy[2], iz[2];
+            double wx[2], wy[2], wz[2];
+            ix[0] = wrap_mod(i0[3 * p], n);
+            ix[1] = wrap_mod(i0[3 * p] + 1, n);
+            iy[0] = wrap_mod(i0[3 * p + 1], n);
+            iy[1] = wrap_mod(i0[3 * p + 1] + 1, n);
+            iz[0] = wrap_mod(i0[3 * p + 2], n);
+            iz[1] = wrap_mod(i0[3 * p + 2] + 1, n);
+            wx[1] = frac[3 * p];
+            wx[0] = 1.0 - wx[1];
+            wy[1] = frac[3 * p + 1];
+            wy[0] = 1.0 - wy[1];
+            wz[1] = frac[3 * p + 2];
+            wz[0] = 1.0 - wz[1];
+            double *o = out + p * ncomp;
+            /* Same (dx, dy, dz) corner order as the mirror's passes, so
+             * each output slot accumulates in the mirror's order. */
+            for (int dx = 0; dx < 2; dx++)
+                for (int dy = 0; dy < 2; dy++)
+                    for (int dz = 0; dz < 2; dz++) {
+                        double w = wx[dx] * wy[dy] * wz[dz];
+                        const double *f = field +
+                            ((ix[dx] * n + iy[dy]) * n + iz[dz]) * ncomp;
+                        for (Py_ssize_t c = 0; c < ncomp; c++)
+                            o[c] += f[c] * w;
+                    }
+        }
+    }
+    PyBuffer_Release(&outb);
+    PyBuffer_Release(&fieldb);
+    PyBuffer_Release(&fracb);
+    PyBuffer_Release(&i0b);
+    Py_RETURN_NONE;
+fail3:
+    PyBuffer_Release(&fieldb);
+fail2:
+    PyBuffer_Release(&fracb);
+fail1:
+    PyBuffer_Release(&i0b);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* Leapfrog kick / drift                                              */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+py_kick(PyObject *self, PyObject *args)
+{
+    PyObject *p_obj, *acc_obj;
+    double coef;
+    Py_ssize_t m; /* total element count (N * 3) */
+    if (!PyArg_ParseTuple(args, "OOdn", &p_obj, &acc_obj, &coef, &m))
+        return NULL;
+    Py_buffer pb, accb;
+    if (get_buf(p_obj, &pb, 1, m * 8, "p") < 0)
+        return NULL;
+    if (get_buf(acc_obj, &accb, 0, m * 8, "acc") < 0) {
+        PyBuffer_Release(&pb);
+        return NULL;
+    }
+    double *p = (double *)pb.buf;
+    const double *acc = (const double *)accb.buf;
+    for (Py_ssize_t i = 0; i < m; i++)
+        p[i] += acc[i] * coef;
+    PyBuffer_Release(&accb);
+    PyBuffer_Release(&pb);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_drift(PyObject *self, PyObject *args)
+{
+    PyObject *x_obj, *p_obj;
+    double coef;
+    Py_ssize_t m;
+    if (!PyArg_ParseTuple(args, "OOdn", &x_obj, &p_obj, &coef, &m))
+        return NULL;
+    Py_buffer xb, pb;
+    if (get_buf(x_obj, &xb, 1, m * 8, "x") < 0)
+        return NULL;
+    if (get_buf(p_obj, &pb, 0, m * 8, "p") < 0) {
+        PyBuffer_Release(&xb);
+        return NULL;
+    }
+    double *x = (double *)xb.buf;
+    const double *p = (const double *)pb.buf;
+    double maxd = 0.0;
+    for (Py_ssize_t i = 0; i < m; i++) {
+        double d = p[i] * coef;
+        double v = x[i] + d;
+        /* numpy mod(v, 1.0): fmod, shift negatives, normalise 0 -> +0.0 */
+        double r = fmod(v, 1.0);
+        if (r != 0.0) {
+            if (r < 0.0)
+                r += 1.0;
+        } else {
+            r = 0.0;
+        }
+        x[i] = r;
+        d = fabs(d);
+        if (d > maxd)
+            maxd = d;
+    }
+    PyBuffer_Release(&pb);
+    PyBuffer_Release(&xb);
+    return PyFloat_FromDouble(maxd);
+}
+
+/* ------------------------------------------------------------------ */
+/* Friends-of-friends                                                 */
+/* ------------------------------------------------------------------ */
+
+static inline int64_t
+uf_find(int64_t *parent, int64_t i)
+{
+    while (parent[i] != i) {
+        parent[i] = parent[parent[i]]; /* path halving */
+        i = parent[i];
+    }
+    return i;
+}
+
+static PyObject *
+py_fof(PyObject *self, PyObject *args)
+{
+    PyObject *x_obj, *labels_obj;
+    double ll;
+    Py_ssize_t N;
+    if (!PyArg_ParseTuple(args, "OdOn", &x_obj, &ll, &labels_obj, &N))
+        return NULL;
+    if (!(ll > 0.0 && ll < 0.5)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "linking length must be in (0, 0.5)");
+        return NULL;
+    }
+    Py_buffer xb, labb;
+    if (get_buf(x_obj, &xb, 0, N * 3 * 8, "x") < 0)
+        return NULL;
+    if (get_buf(labels_obj, &labb, 1, N * 8, "labels") < 0) {
+        PyBuffer_Release(&xb);
+        return NULL;
+    }
+    const double *x = (const double *)xb.buf;
+    int64_t *labels = (int64_t *)labb.buf;
+    int64_t ngroups = 0;
+
+    if (N > 0) {
+        /* Cell size >= ll so only the 27-neighbourhood can hold links;
+         * cap the cell count so the grid stays O(N) memory. */
+        int64_t ncell = (int64_t)floor(1.0 / ll);
+        int64_t cap = (int64_t)cbrt(8.0 * (double)N + 1024.0) + 1;
+        if (ncell > cap)
+            ncell = cap;
+        if (ncell < 1)
+            ncell = 1;
+        Py_ssize_t ncells3 = (Py_ssize_t)ncell * ncell * ncell;
+        int64_t *head = PyMem_Malloc((size_t)ncells3 * sizeof(int64_t));
+        int64_t *next = PyMem_Malloc((size_t)N * sizeof(int64_t));
+        int64_t *parent = PyMem_Malloc((size_t)N * sizeof(int64_t));
+        int64_t *rootlab = PyMem_Malloc((size_t)N * sizeof(int64_t));
+        if (!head || !next || !parent || !rootlab) {
+            PyMem_Free(head);
+            PyMem_Free(next);
+            PyMem_Free(parent);
+            PyMem_Free(rootlab);
+            PyBuffer_Release(&labb);
+            PyBuffer_Release(&xb);
+            return PyErr_NoMemory();
+        }
+        for (Py_ssize_t c = 0; c < ncells3; c++)
+            head[c] = -1;
+        for (Py_ssize_t i = 0; i < N; i++) {
+            int64_t cx = (int64_t)(x[3 * i] * ncell);
+            int64_t cy = (int64_t)(x[3 * i + 1] * ncell);
+            int64_t cz = (int64_t)(x[3 * i + 2] * ncell);
+            if (cx >= ncell) cx = ncell - 1;
+            if (cy >= ncell) cy = ncell - 1;
+            if (cz >= ncell) cz = ncell - 1;
+            if (cx < 0) cx = 0;
+            if (cy < 0) cy = 0;
+            if (cz < 0) cz = 0;
+            int64_t c = (cx * ncell + cy) * ncell + cz;
+            next[i] = head[c];
+            head[c] = i;
+            parent[i] = i;
+        }
+        double ll2 = ll * ll;
+        /* Walk occupied cells; the 27 wrapped neighbour cells are
+         * computed once per cell and shared by all its particles.  For
+         * ncell >= 3 the wrapped offsets are provably distinct, so the
+         * dedup pass (ncell < 3 makes offsets alias) is skipped. */
+        for (int64_t ci = 0; ci < (int64_t)ncells3; ci++) {
+            if (head[ci] < 0)
+                continue;
+            int64_t cx = ci / (ncell * ncell);
+            int64_t cy = (ci / ncell) % ncell;
+            int64_t cz = ci % ncell;
+            int64_t nb[27];
+            int nnb = 0;
+            for (int ox = -1; ox <= 1; ox++)
+                for (int oy = -1; oy <= 1; oy++)
+                    for (int oz = -1; oz <= 1; oz++) {
+                        int64_t c = (wrap_mod(cx + ox, ncell) * ncell +
+                                     wrap_mod(cy + oy, ncell)) * ncell +
+                                    wrap_mod(cz + oz, ncell);
+                        if (ncell < 3) {
+                            int seen = 0;
+                            for (int k = 0; k < nnb; k++)
+                                if (nb[k] == c) {
+                                    seen = 1;
+                                    break;
+                                }
+                            if (seen)
+                                continue;
+                        }
+                        nb[nnb++] = c;
+                    }
+            for (int64_t i = head[ci]; i >= 0; i = next[i]) {
+                const double xi = x[3 * i], yi = x[3 * i + 1],
+                             zi = x[3 * i + 2];
+                for (int k = 0; k < nnb; k++) {
+                    for (int64_t j = head[nb[k]]; j >= 0; j = next[j]) {
+                        if (j >= i)
+                            continue; /* each unordered pair tested once */
+                        double dx = fabs(xi - x[3 * j]);
+                        if (dx > 0.5)
+                            dx = 1.0 - dx;
+                        double dy = fabs(yi - x[3 * j + 1]);
+                        if (dy > 0.5)
+                            dy = 1.0 - dy;
+                        double dz = fabs(zi - x[3 * j + 2]);
+                        if (dz > 0.5)
+                            dz = 1.0 - dz;
+                        double d2 = dx * dx + dy * dy + dz * dz;
+                        if (d2 <= ll2) {
+                            int64_t ri = uf_find(parent, i);
+                            int64_t rj = uf_find(parent, j);
+                            if (ri != rj)
+                                parent[ri > rj ? ri : rj] = ri > rj ? rj : ri;
+                        }
+                    }
+                }
+            }
+        }
+        /* First-occurrence canonical labels: the group containing the
+         * lowest particle index gets label 0, and so on. */
+        for (Py_ssize_t i = 0; i < N; i++)
+            rootlab[i] = -1;
+        for (Py_ssize_t i = 0; i < N; i++) {
+            int64_t r = uf_find(parent, i);
+            if (rootlab[r] < 0)
+                rootlab[r] = ngroups++;
+            labels[i] = rootlab[r];
+        }
+        PyMem_Free(head);
+        PyMem_Free(next);
+        PyMem_Free(parent);
+        PyMem_Free(rootlab);
+    }
+    PyBuffer_Release(&labb);
+    PyBuffer_Release(&xb);
+    return PyLong_FromLongLong((long long)ngroups);
+}
+
+/* ------------------------------------------------------------------ */
+/* Module                                                             */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef physcore_methods[] = {
+    {"cic_deposit", py_cic_deposit, METH_VARARGS,
+     "cic_deposit(i0, frac, mass, grid, npart, n): corner-major CIC scatter"},
+    {"cic_gather", py_cic_gather, METH_VARARGS,
+     "cic_gather(i0, frac, field, out, npart, n, ncomp): CIC gather"},
+    {"kick", py_kick, METH_VARARGS,
+     "kick(p, acc, coef, m): p += acc * coef in place"},
+    {"drift", py_drift, METH_VARARGS,
+     "drift(x, p, coef, m): x = mod(x + p * coef, 1); returns max |dx|"},
+    {"fof", py_fof, METH_VARARGS,
+     "fof(x, ll, labels, npart): periodic FoF labels; returns group count"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef physcore_module = {
+    PyModuleDef_HEAD_INIT, "_physcore",
+    "Compiled physics kernels (CIC, leapfrog, FoF)", -1, physcore_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__physcore(void)
+{
+    return PyModule_Create(&physcore_module);
+}

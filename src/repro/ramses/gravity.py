@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 from .cosmology import Cosmology
-from .mesh import cic_deposit, cic_interpolate, density_contrast
+from .mesh import cic_interpolate, cic_weights, density_contrast
 from .poisson import acceleration_from_source
 
 __all__ = ["GravitySolver", "PMForceResult"]
@@ -66,11 +66,14 @@ class GravitySolver:
         """
         if a <= 0:
             raise ValueError("expansion factor must be positive")
-        delta = self.density(x, mass)
+        # The deposit and the gather happen at the same positions on the
+        # same grid: price the CIC weights once for both directions.
+        weights = cic_weights(x, self.n_grid)
+        delta = density_contrast(x, mass, self.n_grid, weights=weights)
         source = (1.5 * self.cosmology.omega_m / a) * delta
         phi, acc_grid = acceleration_from_source(
             source, kernel=self.kernel, deconvolve_cic=self.deconvolve_cic)
-        acc = cic_interpolate(acc_grid, x)
+        acc = cic_interpolate(acc_grid, x, weights=weights)
         if return_fields:
             return PMForceResult(delta=delta, phi=phi, acc=acc, a=a)
         return PMForceResult(delta=delta, phi=np.empty(0), acc=acc, a=a)
@@ -78,9 +81,10 @@ class GravitySolver:
     def potential_energy_proxy(self, x: np.ndarray, mass: np.ndarray,
                                a: float) -> float:
         """0.5 * sum(m_i * phi(x_i)): a diagnostic scalar for tests."""
-        delta = self.density(x, mass)
+        weights = cic_weights(x, self.n_grid)
+        delta = density_contrast(x, mass, self.n_grid, weights=weights)
         source = (1.5 * self.cosmology.omega_m / a) * delta
         phi, _ = acceleration_from_source(
             source, kernel=self.kernel, deconvolve_cic=self.deconvolve_cic)
-        phi_p = cic_interpolate(phi, x)
+        phi_p = cic_interpolate(phi, x, weights=weights)
         return float(0.5 * np.sum(mass * phi_p))

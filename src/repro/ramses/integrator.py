@@ -21,6 +21,7 @@ import numpy as np
 from .cosmology import Cosmology
 from .gravity import GravitySolver
 from .particles import ParticleSet
+from .physcore import phys_c
 
 __all__ = ["Leapfrog", "StepStats"]
 
@@ -50,7 +51,12 @@ class Leapfrog:
         """p <- p + dp/da * da at fixed positions (in place)."""
         result = self.solver.accelerations(parts.x, parts.mass, a)
         h = float(self.cosmology.hubble(a))
-        parts.p += result.acc * (da / (a * h))
+        coef = da / (a * h)
+        if phys_c is not None:
+            phys_c.kick(parts.p, np.ascontiguousarray(result.acc),
+                        coef, parts.p.size)
+        else:
+            parts.p += result.acc * coef
         self._last_force = result
 
     def drift(self, parts: ParticleSet, a: float, da: float) -> float:
@@ -59,10 +65,17 @@ class Leapfrog:
         Returns the max displacement (a CFL-like diagnostic).
         """
         h = float(self.cosmology.hubble(a))
-        dx = parts.p * (da / (a ** 3 * h))
+        coef = da / (a ** 3 * h)
+        if not len(parts):
+            return 0.0
+        if phys_c is not None:
+            # Fused update + wrap + max-|dx| reduction, no temporaries;
+            # bit-identical to the numpy expressions below.
+            return float(phys_c.drift(parts.x, parts.p, coef, parts.x.size))
+        dx = parts.p * coef
         parts.x += dx
         parts.wrap()
-        return float(np.abs(dx).max()) if len(parts) else 0.0
+        return float(np.abs(dx).max())
 
     # -- full step -------------------------------------------------------------------
 

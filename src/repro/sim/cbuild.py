@@ -1,0 +1,87 @@
+"""Shared build-on-first-import machinery for the repo's C hot cores.
+
+Both compiled extensions (`sim/_simcore.c` — the event heap, and
+`ramses/_physcore.c` — the physics kernels) follow the same contract: a
+single C source file shipped in the package, compiled with whatever ``cc``
+the box has the first time it is imported, cached under a ``_build``
+directory next to the source (or the system temp dir when the package
+tree is read-only), keyed by a sha1 of the source so edits rebuild and
+stale caches are never loaded.  Anything going wrong — no compiler, no
+Python headers, sandboxed filesystem, a failed smoke test — degrades
+silently to the caller's pure-Python mirror.
+
+``REPRO_PURE_PY=1`` is honoured by the *callers* (they skip the build
+entirely), so one switch forces every compiled path in the package onto
+its Python mirror at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import subprocess
+import sysconfig
+import tempfile
+from typing import Callable, Optional
+
+__all__ = ["build_and_load"]
+
+
+def build_and_load(src: str, name: str,
+                   smoke: Optional[Callable[[object], bool]] = None):
+    """Compile ``src`` into an extension named ``name`` and import it.
+
+    Parameters
+    ----------
+    src : path to the single-file C source (its ``PyInit_<name>`` must
+        match ``name``)
+    name : module name of the extension
+    smoke : optional validator run on the freshly loaded module; return
+        False (or raise) to reject the build and fall back
+
+    Returns the loaded module, or None when anything prevents using the
+    compiled implementation.
+    """
+    if not os.path.exists(src):
+        return None
+    with open(src, "rb") as fh:
+        tag = hashlib.sha1(fh.read()).hexdigest()[:12]
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    soname = f"{name}_{tag}{suffix}"
+
+    so_path = None
+    for cache_dir in (os.path.join(os.path.dirname(src), "_build"),
+                      os.path.join(tempfile.gettempdir(), f"repro{name}")):
+        candidate = os.path.join(cache_dir, soname)
+        if os.path.exists(candidate):
+            so_path = candidate
+            break
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            include = sysconfig.get_paths()["include"]
+            fd, tmp = tempfile.mkstemp(suffix=suffix, dir=cache_dir)
+            os.close(fd)
+            cmd = [os.environ.get("CC", "cc"), "-O2", "-fPIC", "-shared",
+                   f"-I{include}", src, "-o", tmp]
+            proc = subprocess.run(cmd, capture_output=True, timeout=120)
+            if proc.returncode != 0:
+                os.unlink(tmp)
+                continue
+            os.replace(tmp, candidate)  # atomic: concurrent builders race safely
+            so_path = candidate
+            break
+        except (OSError, subprocess.SubprocessError):
+            continue
+    if so_path is None:
+        return None
+
+    spec = importlib.util.spec_from_file_location(name, so_path)
+    if spec is None or spec.loader is None:
+        return None
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    if smoke is not None and not smoke(mod):
+        return None
+    return mod

@@ -19,14 +19,11 @@ suite runs against both implementations.
 
 from __future__ import annotations
 
-import hashlib
-import importlib.util
 import os
-import subprocess
-import sysconfig
-import tempfile
 from heapq import heappop, heappush
 from typing import Optional
+
+from .cbuild import build_and_load
 
 __all__ = ["EventHeap", "PyEventHeap", "CTimeout", "HEAP_IMPL"]
 
@@ -86,48 +83,7 @@ class PyEventHeap:
         return bool(self._entries)
 
 
-def _build_and_load():
-    src = os.path.join(os.path.dirname(__file__), "_simcore.c")
-    if not os.path.exists(src):
-        return None
-    with open(src, "rb") as fh:
-        tag = hashlib.sha1(fh.read()).hexdigest()[:12]
-    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
-    soname = f"_simcore_{tag}{suffix}"
-
-    so_path = None
-    for cache_dir in (os.path.join(os.path.dirname(src), "_build"),
-                      os.path.join(tempfile.gettempdir(), "repro_simcore")):
-        candidate = os.path.join(cache_dir, soname)
-        if os.path.exists(candidate):
-            so_path = candidate
-            break
-        try:
-            os.makedirs(cache_dir, exist_ok=True)
-            include = sysconfig.get_paths()["include"]
-            fd, tmp = tempfile.mkstemp(suffix=suffix, dir=cache_dir)
-            os.close(fd)
-            cmd = [os.environ.get("CC", "cc"), "-O2", "-fPIC", "-shared",
-                   f"-I{include}", src, "-o", tmp]
-            proc = subprocess.run(cmd, capture_output=True, timeout=120)
-            if proc.returncode != 0:
-                os.unlink(tmp)
-                continue
-            os.replace(tmp, candidate)  # atomic: concurrent builders race safely
-            so_path = candidate
-            break
-        except (OSError, subprocess.SubprocessError):
-            continue
-    if so_path is None:
-        return None
-
-    # Module name must match the extension's PyInit__simcore export.
-    spec = importlib.util.spec_from_file_location("_simcore", so_path)
-    if spec is None or spec.loader is None:
-        return None
-    mod = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(mod)
-
+def _smoke(mod) -> bool:
     # Smoke-test ordering and the Timeout fast path before trusting the
     # extension for every simulation.
     heap = mod.EventHeap()
@@ -136,9 +92,9 @@ def _build_and_load():
     keys = [heap.pop()[:3] for _ in range(len(heap))]
     if keys != sorted(keys) or keys != [(1.0, 0, 2), (1.0, 1, 1),
                                         (1.0, 1, 3), (2.0, 1, 0)]:
-        return None
+        return False
     if heap.peektime() != _INF or heap.count != 4 or heap.now != 2.0:
-        return None
+        return False
 
     # Timeout fast path: the heap owns the clock, so the constructor
     # schedules relative to queue.now.  It accepts the heap directly (the
@@ -149,9 +105,9 @@ def _build_and_load():
     if not (t.delay == 2.5 and t._ok and t._scheduled and t.value == "v"
             and not t.processed and t.callbacks == []
             and type(t).__name__ == "Timeout"):
-        return None
+        return False
     if queue.pop2() != (4.0, t) or queue.now != 4.0:
-        return None
+        return False
 
     # drain(): watcherless timeouts are consumed without callbacks and the
     # clock clamps to `until` when the next event lies beyond it.
@@ -160,18 +116,20 @@ def _build_and_load():
     far = mod.Timeout(queue, 9.0)
     code = mod.drain(object(), queue, 5.0, True, None)
     if code != 1 or queue.now != 5.0 or len(queue) != 1:
-        return None
+        return False
     if mod.drain(object(), queue, float("inf"), False, None) != 0:
-        return None
+        return False
     if not far.processed:
-        return None
-    return mod
+        return False
+    return True
 
 
 _mod = None
 if not os.environ.get("REPRO_PURE_PY"):
     try:
-        _mod = _build_and_load()
+        _mod = build_and_load(
+            os.path.join(os.path.dirname(__file__), "_simcore.c"),
+            "_simcore", smoke=_smoke)
     except Exception:  # pragma: no cover - any build breakage means fallback
         _mod = None
 

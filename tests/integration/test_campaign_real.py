@@ -28,7 +28,7 @@ def real_campaign(tmp_path_factory):
     workdir = str(tmp_path_factory.mktemp("real-campaign"))
     config = CampaignConfig(
         n_sub_simulations=6,
-        resolution=16,             # 4096 particles: seconds, not hours
+        resolution=32,             # 32768 particles: seconds, not hours
         boxsize_mpc_h=50,
         n_zoom_levels=1,
         mode=ExecutionMode.REAL,
