@@ -85,7 +85,9 @@ _EXPERIMENTS: Dict[str, Tuple[str, Callable[..., Any], Callable[[Any], str]]] = 
                  n_grids=args.grids,
                  clusters_per_grid=args.clusters_per_grid,
                  churn=args.churn, seed=args.seed, jobs=args.jobs,
-                 observe=bool(args.trace or args.gantt_svg or args.profile)),
+                 observe=bool(args.trace or args.gantt_svg or args.profile),
+                 zipf=tuple(float(x) for x in args.zipf.split(",")),
+                 memo=args.memo),
              load_federation.render),
 }
 
@@ -253,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="SeD outages injected per point (default 2; "
                                 "0 disables churn)")
             p.add_argument("--seed", type=int, default=2007)
+            p.add_argument("--zipf", default="1.1",
+                           help="comma-separated Zipf skew values for the "
+                                "client population (default 1.1)")
+            p.add_argument("--memo", choices=["on", "off"], default="off",
+                           help="grid-wide result memoization keyed on "
+                                "canonical request descriptors (default off)")
         _add_obs_flags(p)
 
     campaign = sub.add_parser("campaign",

@@ -38,7 +38,7 @@ from .aggregation import AggregationTable
 from .exceptions import ServerNotFoundError
 from .liveness import HeartbeatConfig, HeartbeatMonitor
 from .pipeline import DeadlineInterceptor, TracingInterceptor
-from .requests import EstimateDelta, EstimateRequest, SubmitRequest
+from .requests import EstimateDelta, EstimateRequest, MemoHit, SubmitRequest
 from .scheduling import (
     EST_NBJOBS,
     EST_SPEED,
@@ -143,6 +143,11 @@ class LocalAgent:
         #: Replica catalog node of this agent (set by the deployment when a
         #: data grid is wired; None keeps the agent data-unaware).
         self.data_catalog = None
+        #: Grid-wide result memo (:class:`repro.data.memo.MemoIndex`), set
+        #: by deployments that opt into memoization.  The MA consults it
+        #: before scheduling; every agent invalidates a deregistered
+        #: child's entries so a crashed SeD's results stop being served.
+        self.memo = None
         self.endpoint.on("dm_locate", self._handle_dm_locate)
         #: Monitoring counters ("the information stored on an agent is the
         #: list of requests, the number of servers that can solve a given
@@ -173,6 +178,11 @@ class LocalAgent:
         except ValueError:
             return False
         self.deregistrations.append(endpoint_name)
+        if self.memo is not None:
+            # A dead child's memoized results are unreachable: drop them
+            # (the cascade reaches the leaf agents, whose children are the
+            # SeD owners the memo is keyed by).
+            self.memo.invalidate_owner(endpoint_name, self.engine.now)
         if self.table is not None and self.table.drop_via(endpoint_name):
             # Pure removals: rows only disappeared, no service gained a
             # candidate — interior agents still cascade the shrink upward,
@@ -386,15 +396,24 @@ class MasterAgent(LocalAgent):
                 service=sub.service_desc.path)
         if self._admission is not None:
             # Push mode: no fan-out — queue on the batched admission loop,
-            # which answers from the materialized table.  The deadline
-            # bounds how long a submit may wait for its first candidate
-            # (cold start / unknown service) before rejection; it mirrors
-            # pull mode's per-child estimate deadline.
+            # which answers from the materialized table (consulting the
+            # memo at admission).  The deadline bounds how long a submit
+            # may wait for its first candidate (cold start / unknown
+            # service) before rejection; it mirrors pull mode's per-child
+            # estimate deadline.
             self.request_count += 1
             done = Event(self.engine)
-            item = [sub, done, self.engine.now + self.params.child_timeout]
+            item = [sub, done, self.engine.now + self.params.child_timeout,
+                    False]
             self._admission.put(item)
             chosen, n_candidates = yield done
+        elif (hit := self._memo_lookup(sub)) is not None:
+            # Pull mode memo hit: the whole estimate fan-out is skipped —
+            # one agent processing charge answers the submit with the
+            # memoized result's handles.
+            self.request_count += 1
+            yield self.engine.timeout(self.params.processing_time)
+            chosen, n_candidates = hit, 0
         else:
             req = EstimateRequest(sub.request_id, sub.service_desc,
                                   sub.client_host, sub.request_nbytes)
@@ -412,6 +431,16 @@ class MasterAgent(LocalAgent):
                               service=sub.service_desc.path)
             raise ServerNotFoundError(
                 f"no SeD can solve {sub.service_desc.path!r}")
+        if isinstance(chosen, MemoHit):
+            # Short-circuit: no solve is dispatched — the reply carries the
+            # owning SeD's result handles instead of a schedule.
+            if span is not None:
+                obs.spans.end(span, self.engine.now, sed=chosen.owner,
+                              n_candidates=0, memo="hit")
+            self.tracing.emit(self.endpoint, "schedule-memo",
+                              request_id=sub.request_id, sed=chosen.owner,
+                              service=sub.service_desc.path)
+            return ((chosen.owner, chosen), chosen.wire_bytes())
         if span is not None:
             now = self.engine.now
             obs.spans.end(span, now, sed=chosen.sed_name,
@@ -423,6 +452,13 @@ class MasterAgent(LocalAgent):
                           service=sub.service_desc.path,
                           n_candidates=n_candidates)
         return ((chosen.sed_name, chosen), 512)
+
+    def _memo_lookup(self, sub: SubmitRequest) -> Optional[MemoHit]:
+        """Consult the grid memo for one submit; None when the memo is off,
+        the client sent no key, or the key misses."""
+        if self.memo is None or sub.memo_key is None:
+            return None
+        return self.memo.lookup(sub.memo_key, self.engine.now)
 
     def _admit(self, sub: SubmitRequest, candidates: List[EstimationVector],
                hosts: Optional[Dict[str, str]] = None) -> EstimationVector:
@@ -476,9 +512,18 @@ class MasterAgent(LocalAgent):
                     break
                 batch.append(extra)
             for item in batch:
-                sub, done, expires_at = item
+                sub, done, expires_at, memo_checked = item
                 if done.triggered:
                     continue  # expired while parked/queued
+                if not memo_checked:
+                    # One memo consultation per submit, on its first
+                    # admission pass (a parked item re-queued by a table
+                    # change was already counted as a miss).
+                    item[3] = True
+                    hit = self._memo_lookup(sub)
+                    if hit is not None:
+                        done.succeed((hit, 0))
+                        continue
                 rows = self.table.candidates(sub.service_desc.path)
                 if not rows:
                     if self.engine.now >= expires_at:

@@ -24,6 +24,7 @@ from ..sim.engine import Engine, Event, Process
 from ..sim.network import Host
 from .exceptions import (
     CommunicationError,
+    DataError,
     InvalidHandleError,
     InvalidSessionError,
     NotCompletedError,
@@ -32,11 +33,34 @@ from .exceptions import (
 )
 from .pipeline import Interceptor, TracingInterceptor
 from .profile import Profile
-from .requests import SolveRequest, SubmitRequest
+from .requests import MemoHit, SolveRequest, SubmitRequest
 from .statistics import Tracer
 from .transport import Endpoint, TransportFabric
 
-__all__ = ["FunctionHandle", "AsyncRequest", "DietClient"]
+__all__ = ["FunctionHandle", "AsyncRequest", "DietClient", "absorb_memo_hit"]
+
+
+def absorb_memo_hit(endpoint: Endpoint, profile: Profile, hit: MemoHit
+                    ) -> Generator[Event, Any, None]:
+    """Materialize a memo hit into the client profile (process helper).
+
+    Returning arguments (``*_RETURN`` modes — the client owns the bytes)
+    are pulled from the owning SeD with ``memo_fetch`` at the data's true
+    size; non-returning ones bind to the persisted handle directly,
+    exactly as a fresh solve's reply would have.  Raises
+    :class:`CommunicationError` (owner died since the lookup) or
+    :class:`DataError` (result evicted) — callers fall back to a normal
+    re-solve, which repopulates the memo.
+    """
+    for index in sorted(hit.out_values):
+        handle = hit.out_values[index]
+        arg = profile.parameter(index)
+        if arg.desc.persistence.returns_to_client:
+            value = yield from endpoint.rpc(hit.owner, "memo_fetch",
+                                            handle.data_id)
+            arg.set(value)
+        else:
+            arg.set(handle)
 
 
 @dataclass
@@ -97,7 +121,8 @@ class DietClient:
 
     def __init__(self, fabric: TransportFabric, host: Host,
                  name: str = "client", tracer: Optional[Tracer] = None,
-                 interceptors: Iterable[Interceptor] = ()):
+                 interceptors: Iterable[Interceptor] = (),
+                 memo_enabled: bool = False):
         self.fabric = fabric
         self.engine: Engine = fabric.engine
         self.host = host
@@ -117,6 +142,13 @@ class DietClient:
         #: Calls resubmitted through the MA after a middleware failure
         #: (:meth:`call_retry`); application failures are never retried.
         self.resubmissions = 0
+        #: Send a canonical request-descriptor digest with every submit so
+        #: the MA can short-circuit repeats to grid-memo hits.  Off by
+        #: default: a key-less submit never touches the memo.
+        self.memo_enabled = memo_enabled
+        #: Memo hits whose owner vanished before the results could be
+        #: pulled; each one fell back to a normal re-solve.
+        self.memo_fallbacks = 0
 
     # -- session -------------------------------------------------------------------
 
@@ -167,43 +199,65 @@ class DietClient:
         """
         self._check_session()
         profile.validate_for_submit()
-        # Fabric-scoped (not process-global): identical campaigns get
-        # identical request ids regardless of what ran before them.
-        request_id = self.fabric.new_request_id()
+        use_memo = self.memo_enabled
+        while True:
+            # Fabric-scoped (not process-global): identical campaigns get
+            # identical request ids regardless of what ran before them.
+            request_id = self.fabric.new_request_id()
+            memo_key = None
+            if use_memo:
+                from ..data.memo import descriptor_digest
 
-        # Data Location Manager view: persistent inputs already on SeDs.
-        from .data import DataHandle
+                memo_key = descriptor_digest(profile)
 
-        resident: Dict[str, int] = {}
-        for arg in profile.arguments:
-            if isinstance(arg.value, DataHandle):
-                resident[arg.value.sed_name] = (
-                    resident.get(arg.value.sed_name, 0) + arg.value.nbytes)
+            # Data Location Manager view: persistent inputs already on SeDs.
+            from .data import DataHandle
 
-        sub = SubmitRequest(request_id=request_id,
-                            service_desc=profile.desc,
-                            client_host=self.host.name,
-                            client_endpoint=self.endpoint.name,
-                            request_nbytes=profile.request_nbytes(),
-                            resident_bytes=resident,
-                            data_handles=tuple(
-                                arg.value for arg in profile.arguments
-                                if isinstance(arg.value, DataHandle)))
-        # Lifecycle stamps (submitted_at/found_at/data_sent_at/completed_at)
-        # are recorded by the endpoint's TracingInterceptor as the messages
-        # pass through the pipeline.
-        sed_name, _est = yield from self.endpoint.rpc(self.ma_name, "submit", sub)
-        if handle is not None:
-            handle.server = sed_name
+            resident: Dict[str, int] = {}
+            for arg in profile.arguments:
+                if isinstance(arg.value, DataHandle):
+                    resident[arg.value.sed_name] = (
+                        resident.get(arg.value.sed_name, 0) + arg.value.nbytes)
 
-        solve_req = SolveRequest(request_id=request_id, profile=profile,
-                                 client_endpoint=self.endpoint.name)
-        reply = yield from self.endpoint.rpc(
-            sed_name, "solve", solve_req, nbytes=profile.request_nbytes())
+            sub = SubmitRequest(request_id=request_id,
+                                service_desc=profile.desc,
+                                client_host=self.host.name,
+                                client_endpoint=self.endpoint.name,
+                                request_nbytes=profile.request_nbytes(),
+                                resident_bytes=resident,
+                                data_handles=tuple(
+                                    arg.value for arg in profile.arguments
+                                    if isinstance(arg.value, DataHandle)),
+                                memo_key=memo_key)
+            # Lifecycle stamps (submitted_at/found_at/data_sent_at/
+            # completed_at) are recorded by the endpoint's
+            # TracingInterceptor as the messages pass through the pipeline.
+            sed_name, est = yield from self.endpoint.rpc(
+                self.ma_name, "submit", sub)
+            if isinstance(est, MemoHit):
+                try:
+                    yield from absorb_memo_hit(self.endpoint, profile, est)
+                except (CommunicationError, DataError):
+                    # The owner died (or evicted the result) between the
+                    # MA's lookup and our pull: fall back to a re-solve.
+                    self.memo_fallbacks += 1
+                    use_memo = False
+                    continue
+                if handle is not None:
+                    handle.server = sed_name
+                return 0
+            if handle is not None:
+                handle.server = sed_name
 
-        for index, value in reply.out_values.items():
-            profile.parameter(index).set(value)
-        return reply.status
+            solve_req = SolveRequest(request_id=request_id, profile=profile,
+                                     client_endpoint=self.endpoint.name,
+                                     memo_key=memo_key)
+            reply = yield from self.endpoint.rpc(
+                sed_name, "solve", solve_req, nbytes=profile.request_nbytes())
+
+            for index, value in reply.out_values.items():
+                profile.parameter(index).set(value)
+            return reply.status
 
     def call_retry(self, profile: Profile,
                    handle: Optional[FunctionHandle] = None,

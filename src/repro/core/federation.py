@@ -47,9 +47,11 @@ from ..sim.failures import FailureInjector, Outage
 from ..sim.network import Host, Link
 from ..sim.rng import RandomStreams
 from .agent import AgentParams, LocalAgent, MasterAgent
-from .exceptions import CommunicationError, DietError, ServerNotFoundError
+from .client import absorb_memo_hit
+from .exceptions import (CommunicationError, DataError, DietError,
+                         ServerNotFoundError)
 from .profile import Profile
-from .requests import SolveRequest, SubmitRequest
+from .requests import MemoHit, SolveRequest, SubmitRequest
 from .sed import SeD, SeDParams
 from .statistics import Tracer
 from .transport import TransportFabric
@@ -75,6 +77,11 @@ class FederationConfig:
     agent_params: Optional[AgentParams] = None
     #: SeD knobs shared by every SeD (None = defaults).
     sed_params: Optional[SeDParams] = None
+    #: Deploy a federation-wide result memo
+    #: (:class:`repro.data.memo.MemoIndex`) consulted by every MA and
+    #: populated by every SeD.  Off by default — a memo-less federation is
+    #: byte-identical to one built before the memo existed.
+    memo: bool = False
 
     def __post_init__(self) -> None:
         if self.n_grids < 1:
@@ -132,6 +139,9 @@ class Federation:
     platform: Grid5000Platform
     config: FederationConfig
     grids: List[FederatedGrid] = field(default_factory=list)
+    #: The shared :class:`repro.data.memo.MemoIndex` when
+    #: ``config.memo`` is set; None otherwise.
+    memo: Optional[Any] = None
 
     @property
     def ma_names(self) -> List[str]:
@@ -176,6 +186,13 @@ def build_federation(engine: Engine, config: FederationConfig,
 
     federation = Federation(engine=engine, fabric=fabric, tracer=tracer,
                             platform=platform, config=config)
+    memo = None
+    if config.memo:
+        # Imported lazily: repro.data depends on repro.core at module level.
+        from ..data.memo import MemoIndex
+
+        memo = MemoIndex(obs=tracer.obs)
+        federation.memo = memo
     for g in range(config.n_grids):
         prefix = f"g{g}-"
         clusters = [cluster for name, cluster in platform.clusters.items()
@@ -191,12 +208,14 @@ def build_federation(engine: Engine, config: FederationConfig,
         ma = MasterAgent(fabric, ma_host, name=f"MA{g}",
                          params=config.agent_params, tracer=tracer,
                          routing=config.routing)
+        ma.memo = memo
         grid = FederatedGrid(index=g, ma=ma)
         for cluster in clusters:
             la = LocalAgent(fabric, cluster.frontend,
                             name=f"LA-{cluster.full_name}", parent=ma.name,
                             params=config.agent_params, tracer=tracer,
                             routing=config.routing)
+            la.memo = memo
             ma.add_child(la.name)
             grid.local_agents.append(la)
             for host in cluster.sed_hosts:
@@ -204,6 +223,7 @@ def build_federation(engine: Engine, config: FederationConfig,
                           ma_name=ma.name, params=config.sed_params,
                           tracer=tracer, nfs=cluster.nfs, parent=la.name,
                           routing=config.routing)
+                sed.data_manager.memo = memo
                 la.add_child(sed.name)
                 grid.seds.append(sed)
         federation.grids.append(grid)
@@ -225,7 +245,8 @@ class FederatedClient:
     def __init__(self, fabric: TransportFabric, host: Host, name: str,
                  ma_names: List[str], home: int = 0,
                  tracer: Optional[Tracer] = None,
-                 max_redirects: Optional[int] = None):
+                 max_redirects: Optional[int] = None,
+                 memo_enabled: bool = False):
         if not ma_names:
             raise DietError("a FederatedClient needs at least one MA")
         self.fabric = fabric
@@ -241,6 +262,12 @@ class FederatedClient:
         self.endpoint.start()
         self.redirects = 0
         self.rejections = 0
+        #: Stamp submits with canonical request-descriptor digests so MAs
+        #: can answer repeats from the federation-wide memo.
+        self.memo_enabled = memo_enabled
+        #: Memo hits whose owner vanished before the pull; each fell back
+        #: to a fresh memo-less submit round.
+        self.memo_fallbacks = 0
 
     def _ma_order(self) -> List[str]:
         n = len(self.ma_names)
@@ -260,41 +287,67 @@ class FederatedClient:
         ``CommunicationError`` exactly like the single-MA client.
         """
         profile.validate_for_submit()
-        last_error: Optional[Exception] = None
         obs = self.tracer.obs
-        for i, ma_name in enumerate(self._ma_order()):
-            request_id = self.fabric.new_request_id()
-            sub = SubmitRequest(request_id=request_id,
-                                service_desc=profile.desc,
-                                client_host=self.host.name,
-                                client_endpoint=self.endpoint.name,
-                                request_nbytes=profile.request_nbytes())
-            try:
-                sed_name, _est = yield from self.endpoint.rpc(
-                    ma_name, "submit", sub)
-            except (ServerNotFoundError, CommunicationError) as exc:
-                last_error = exc
-                self.rejections += 1
-                if obs.enabled:
-                    obs.metrics.counter("federation.rejections",
-                                        ma=ma_name).inc(1, self.engine.now)
-                if i + 1 < len(self._ma_order()):
-                    self.redirects += 1
+        use_memo = self.memo_enabled
+        while True:
+            memo_key = None
+            if use_memo:
+                # Lazy: repro.data depends on repro.core at module level.
+                from ..data.memo import descriptor_digest
+
+                memo_key = descriptor_digest(profile)
+            last_error: Optional[Exception] = None
+            fell_back = False
+            order = self._ma_order()
+            for i, ma_name in enumerate(order):
+                request_id = self.fabric.new_request_id()
+                sub = SubmitRequest(request_id=request_id,
+                                    service_desc=profile.desc,
+                                    client_host=self.host.name,
+                                    client_endpoint=self.endpoint.name,
+                                    request_nbytes=profile.request_nbytes(),
+                                    memo_key=memo_key)
+                try:
+                    sed_name, est = yield from self.endpoint.rpc(
+                        ma_name, "submit", sub)
+                except (ServerNotFoundError, CommunicationError) as exc:
+                    last_error = exc
+                    self.rejections += 1
                     if obs.enabled:
-                        obs.metrics.counter("federation.redirects").inc(
-                            1, self.engine.now)
+                        obs.metrics.counter("federation.rejections",
+                                            ma=ma_name).inc(1, self.engine.now)
+                    if i + 1 < len(order):
+                        self.redirects += 1
+                        if obs.enabled:
+                            obs.metrics.counter("federation.redirects").inc(
+                                1, self.engine.now)
+                    continue
+                found_at = self.engine.now
+                if isinstance(est, MemoHit):
+                    try:
+                        yield from absorb_memo_hit(self.endpoint, profile,
+                                                   est)
+                    except (CommunicationError, DataError):
+                        # Owner died between lookup and pull: retry the
+                        # whole submit round without the stale hit.
+                        self.memo_fallbacks += 1
+                        fell_back = True
+                        break
+                    return 0, est.owner, found_at
+                reply = yield from self.endpoint.rpc(
+                    sed_name, "solve",
+                    SolveRequest(request_id=request_id, profile=profile,
+                                 client_endpoint=self.endpoint.name,
+                                 memo_key=memo_key),
+                    nbytes=profile.request_nbytes())
+                for index, value in reply.out_values.items():
+                    profile.parameter(index).set(value)
+                return reply.status, sed_name, found_at
+            if fell_back:
+                use_memo = False
                 continue
-            found_at = self.engine.now
-            reply = yield from self.endpoint.rpc(
-                sed_name, "solve",
-                SolveRequest(request_id=request_id, profile=profile,
-                             client_endpoint=self.endpoint.name),
-                nbytes=profile.request_nbytes())
-            for index, value in reply.out_values.items():
-                profile.parameter(index).set(value)
-            return reply.status, sed_name, found_at
-        raise last_error if last_error is not None else ServerNotFoundError(
-            "no MA accepted the request")
+            raise (last_error if last_error is not None
+                   else ServerNotFoundError("no MA accepted the request"))
 
 
 @dataclass(frozen=True)

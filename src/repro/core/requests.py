@@ -6,9 +6,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .data import DataHandle, HANDLE_WIRE_BYTES
 from .profile import Profile, ProfileDesc
 
-__all__ = ["EstimateDelta", "EstimateRequest", "SubmitRequest",
+__all__ = ["EstimateDelta", "EstimateRequest", "MemoHit", "SubmitRequest",
            "SolveRequest", "SolveReply", "new_request_id"]
 
 _request_ids = itertools.count(1)
@@ -78,6 +79,11 @@ class SubmitRequest:
     #: candidate's transfer cost through the replica catalog (DataHandle is
     #: frozen/hashable; empty for requests without persistent inputs).
     data_handles: Tuple = ()
+    #: Canonical request-descriptor digest
+    #: (:func:`repro.data.memo.descriptor_digest`); None when the client
+    #: did not opt into memoization — the MA then never consults the memo,
+    #: keeping memo-off deployments byte-identical.
+    memo_key: Optional[str] = None
 
     @property
     def service_path(self) -> str:
@@ -92,11 +98,40 @@ class SolveRequest:
     request_id: int
     profile: Profile
     client_endpoint: str
+    #: Same digest as the submit carried; the SeD uses it to populate the
+    #: memo on solve completion (None when memoization is off).
+    memo_key: Optional[str] = None
 
     @property
     def service_path(self) -> str:
         """Uniform service accessor for the tracing pipeline."""
         return self.profile.path
+
+
+@dataclass(frozen=True)
+class MemoHit:
+    """MA -> client: the request was already solved; here are the handles.
+
+    Returned in place of the estimation vector when the submit's
+    ``memo_key`` is in the grid memo: ``out_values`` maps OUT/INOUT
+    argument indices to the :class:`~repro.core.data.DataHandle`\\ s of the
+    persisted results on ``owner``.  The client materializes returning
+    arguments with a ``memo_fetch`` pull from the owner and binds
+    non-returning ones to the handles directly — no solve runs.
+    """
+
+    key: str
+    owner: str
+    out_values: Dict[int, DataHandle] = field(default_factory=dict)
+
+    @property
+    def sed_name(self) -> str:
+        """Uniform accessor: scheduling traces label the chosen SeD."""
+        return self.owner
+
+    def wire_bytes(self) -> int:
+        """Reply size: envelope plus one reference per result handle."""
+        return 128 + HANDLE_WIRE_BYTES * len(self.out_values)
 
 
 @dataclass

@@ -27,7 +27,8 @@ from .data import DataHandle, Direction
 from .exceptions import DataError, DietError
 from .pipeline import TracingInterceptor
 from .profile import Profile, ProfileDesc, ServiceTable, SolveFunc
-from .requests import EstimateDelta, EstimateRequest, SolveReply, SolveRequest
+from .requests import (EstimateDelta, EstimateRequest, MemoHit, SolveReply,
+                       SolveRequest)
 from .statistics import Tracer
 from .transport import Endpoint, TransportFabric
 
@@ -137,6 +138,7 @@ class SeD:
         self.endpoint.on("solve", self._handle_solve)
         self.endpoint.on("fetch_data", self._handle_fetch_data)
         self.endpoint.on("dm_fetch", self._handle_fetch_data)
+        self.endpoint.on("memo_fetch", self._handle_memo_fetch)
         self.endpoint.on("ping", self._handle_ping)
 
     # -- service registration (diet_service_table_add) ----------------------------
@@ -334,6 +336,18 @@ class SeD:
         yield self.engine.timeout(0.0)
         return (value, nbytes)
 
+    def _handle_memo_fetch(self, msg) -> Generator[Event, Any, tuple]:
+        """Serve a memoized result back to a client absorbing a memo hit.
+
+        Unlike peer ``fetch_data``, STICKY pins do not refuse: stickiness
+        constrains SeD-to-SeD movement, not the *_RETURN contract that the
+        client gets its bytes back.
+        """
+        data_id = msg.payload
+        value, nbytes = self.data_manager.serve(data_id, allow_pinned=True)
+        yield self.engine.timeout(0.0)
+        return (value, nbytes)
+
     def _resolve_handles(self, profile: Profile) -> Generator[Event, Any, None]:
         """Materialize DataHandle-valued IN/INOUT arguments ("Data
         downloading" in the paper's solve skeleton).
@@ -351,14 +365,18 @@ class SeD:
             arg.set(value)
 
     def _persist_outputs(self, req: SolveRequest, profile: Profile,
-                         out_values: Dict[int, Any]) -> None:
+                         out_values: Dict[int, Any]
+                         ) -> Dict[int, DataHandle]:
         """Keep server copies per the argument persistence modes; replace
         non-returning values with handles in the reply.
 
-        A full store with everything pinned raises ``StoreFullError``
-        (a :class:`DataError`), which the transport reports to the client as
-        an error reply.
+        Returns the handle of every argument that kept a server copy this
+        call (including ``*_RETURN`` ones, whose reply still ships the
+        bytes) — the raw material for memo population.  A full store with
+        everything pinned raises ``StoreFullError`` (a :class:`DataError`),
+        which the transport reports to the client as an error reply.
         """
+        handles: Dict[int, DataHandle] = {}
         for i, arg in enumerate(profile.arguments):
             if arg.direction is Direction.IN or not arg.is_set:
                 continue
@@ -372,11 +390,38 @@ class SeD:
             data_id = self.data_manager.put(
                 f"{self.name}/req{req.request_id}/arg{i}",
                 arg.value, arg.nbytes, mode)
+            handles[i] = DataHandle(data_id=data_id, sed_name=self.name,
+                                    nbytes=arg.nbytes)
             if not mode.returns_to_client:
-                out_values[i] = DataHandle(data_id=data_id,
-                                           sed_name=self.name,
-                                           nbytes=arg.nbytes)
+                out_values[i] = handles[i]
                 self.data_manager.note_reply_handle(arg.nbytes)
+        return handles
+
+    def _memo_populate(self, key: str, profile: Profile,
+                       handles: Dict[int, DataHandle]) -> None:
+        """Register a successful solve in the grid memo.
+
+        Every OUT/INOUT argument must have kept a server copy for the
+        result to be replayable from this SeD — one VOLATILE output means
+        the request leaves nothing behind to point at, so it is *never*
+        memoized (the DIET persistence contract: volatile data is freed
+        after the call).
+        """
+        memo = self.data_manager.memo
+        out_handles: Dict[int, DataHandle] = {}
+        for i, arg in enumerate(profile.arguments):
+            if arg.direction is Direction.IN:
+                continue
+            if not arg.desc.persistence.keeps_server_copy:
+                return  # a VOLATILE output: not memoizable
+            handle = handles.get(i)
+            if handle is None and isinstance(arg.value, DataHandle):
+                handle = arg.value  # passed through, already persisted
+            if handle is None:
+                return  # nothing produced / not server-resident
+            out_handles[i] = handle
+        memo.put(MemoHit(key=key, owner=self.name, out_values=out_handles),
+                 self.engine.now)
 
     # -- solving --------------------------------------------------------------------
 
@@ -476,7 +521,10 @@ class SeD:
             i: arg.value for i, arg in enumerate(profile.arguments)
             if arg.direction in (Direction.OUT, Direction.INOUT) and arg.is_set
         }
-        self._persist_outputs(req, profile, out_values)
+        handles = self._persist_outputs(req, profile, out_values)
+        if (self.data_manager.memo is not None and req.memo_key is not None
+                and status == 0):
+            self._memo_populate(req.memo_key, profile, handles)
         reply = SolveReply(request_id=req.request_id, status=status,
                            out_values=out_values, solve_started_at=started,
                            solve_ended_at=ended, sed_name=self.name, error=error)

@@ -14,7 +14,9 @@ package is the DTM/DAGDA substitute that does:
   eager-broadcast);
 * :mod:`~repro.data.manager` — the per-SeD manager + deployment-wide
   :class:`~repro.data.manager.DataGrid`, including the transfer-cost hook
-  MCT scheduling uses for data locality.
+  MCT scheduling uses for data locality;
+* :mod:`~repro.data.memo` — the grid-wide result memo keyed on canonical
+  request descriptors, short-circuiting a submit to a replica hit.
 """
 
 from __future__ import annotations
@@ -23,10 +25,24 @@ from typing import Optional
 
 from .catalog import CatalogNode, Replica
 from .manager import DataGrid, DataGridStats, DataManager, DataManagerConfig
-from .policy import (EagerBroadcast, NoReplication, PerClusterReplication,
-                     ReplicationPolicy, make_replication_policy)
-from .store import (CostAwareEviction, DataStore, EvictionPolicy, LRUEviction,
-                    StoreEntry, StoreFullError, content_digest, make_eviction)
+from .memo import MemoIndex, MemoStats, descriptor_digest, request_descriptor
+from .policy import (
+    EagerBroadcast,
+    NoReplication,
+    PerClusterReplication,
+    ReplicationPolicy,
+    make_replication_policy,
+)
+from .store import (
+    CostAwareEviction,
+    DataStore,
+    EvictionPolicy,
+    LRUEviction,
+    StoreEntry,
+    StoreFullError,
+    content_digest,
+    make_eviction,
+)
 from .transfer import TransferManager
 
 __all__ = [
@@ -40,6 +56,8 @@ __all__ = [
     "EagerBroadcast",
     "EvictionPolicy",
     "LRUEviction",
+    "MemoIndex",
+    "MemoStats",
     "NoReplication",
     "PerClusterReplication",
     "Replica",
@@ -49,9 +67,11 @@ __all__ = [
     "TransferManager",
     "campaign_data_config",
     "content_digest",
+    "descriptor_digest",
     "make_eviction",
     "make_replication_policy",
     "policy_keeps_results",
+    "request_descriptor",
 ]
 
 #: Campaign-level ``--data-policy`` values and the manager configuration
@@ -75,8 +95,7 @@ def campaign_data_config(policy: Optional[str]) -> Optional[DataManagerConfig]:
         return DataManagerConfig(replication="per-cluster")
     if policy == "broadcast":
         return DataManagerConfig(replication="eager-broadcast")
-    raise ValueError(f"unknown data policy {policy!r}; known: "
-                     f"{DATA_POLICIES}")
+    raise ValueError(f"unknown data policy {policy!r}; known: {DATA_POLICIES}")
 
 
 def policy_keeps_results(policy: Optional[str]) -> bool:

@@ -58,8 +58,12 @@ class CatalogNode:
 
     def unregister_all(self, sed_name: str) -> List[Replica]:
         """Drop every replica hosted by ``sed_name`` (SeD crash)."""
-        dropped = [r for copies in self._entries.values()
-                   for r in copies.values() if r.sed_name == sed_name]
+        dropped = [
+            r
+            for copies in self._entries.values()
+            for r in copies.values()
+            if r.sed_name == sed_name
+        ]
         for replica in dropped:
             self.unregister(replica.data_id, sed_name)
         return dropped

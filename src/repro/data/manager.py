@@ -96,6 +96,10 @@ class DataManager:
         self.nfs_fastpath = True
         self.stats = DataGridStats()
         self.transfers = TransferManager(self)
+        #: Grid-wide result memo (:class:`repro.data.memo.MemoIndex`), set
+        #: by deployments that opt into memoization; this manager drops its
+        #: SeD's entries on crash and per-datum entries on eviction.
+        self.memo = None
         #: Checkpoint registrations survive a crash of this SeD: the bytes
         #: live on the cluster NFS volume, not in the SeD process.
         self._checkpoints: Dict[str, Replica] = {}
@@ -104,21 +108,25 @@ class DataManager:
     def obs(self):
         return self.sed.tracer.obs
 
-    def join_grid(self, grid: "DataGrid", catalog: CatalogNode,
-                  config: DataManagerConfig) -> None:
+    def join_grid(
+        self, grid: "DataGrid", catalog: CatalogNode, config: DataManagerConfig
+    ) -> None:
         self.grid = grid
         self.catalog = catalog
         self.parent = self.sed.parent
-        self.store = DataStore(capacity_bytes=config.capacity_bytes,
-                               eviction=make_eviction(config.eviction))
+        self.store = DataStore(
+            capacity_bytes=config.capacity_bytes,
+            eviction=make_eviction(config.eviction),
+        )
         self.replication = make_replication_policy(config.replication)
         self.nfs_fastpath = config.nfs_fastpath
         self.stats = grid.stats
 
     # -- store side ---------------------------------------------------------------
 
-    def put(self, data_id: str, value: Any, nbytes: int,
-            mode: PersistenceMode) -> str:
+    def put(
+        self, data_id: str, value: Any, nbytes: int, mode: PersistenceMode
+    ) -> str:
         """Keep a server copy of a produced argument; returns the canonical
         data id (an existing one when content dedup aliases the value)."""
         now = self.engine.now
@@ -135,11 +143,18 @@ class DataManager:
         # Own produced data is irreplaceable (no other copy exists yet):
         # infinite refetch cost keeps cost-aware eviction away from it while
         # cheap replicas remain.
-        evicted = self.store.put(data_id, value, nbytes, now=now,
-                                 pinned=pinned, cost=float("inf"),
-                                 digest=digest)
+        evicted = self.store.put(
+            data_id,
+            value,
+            nbytes,
+            now=now,
+            pinned=pinned,
+            cost=float("inf"),
+            digest=digest,
+        )
         for entry in evicted:
             self._unregister(entry.data_id)
+            self._memo_evict(entry.data_id)
             self.stats.evictions += 1
         self._register(data_id, nbytes)
         self.replication.on_store(self, data_id, nbytes)
@@ -153,13 +168,20 @@ class DataManager:
             entry.last_used = now
             return True
         try:
-            evicted = self.store.put(data_id, value, nbytes, now=now,
-                                     pinned=False, cost=0.0,
-                                     digest=content_digest(value))
+            evicted = self.store.put(
+                data_id,
+                value,
+                nbytes,
+                now=now,
+                pinned=False,
+                cost=0.0,
+                digest=content_digest(value),
+            )
         except StoreFullError:
             return False
         for old in evicted:
             self._unregister(old.data_id)
+            self._memo_evict(old.data_id)
             self.stats.evictions += 1
         self._register(data_id, nbytes)
         self.stats.replicas += 1
@@ -171,13 +193,28 @@ class DataManager:
             # write their outputs to the cluster NFS working directory), so
             # same-volume consumers can take the NFS fast path.
             volume = self.sed.nfs.name if self.sed.nfs is not None else ""
-            self.catalog.register(Replica(
-                data_id=data_id, sed_name=self.sed.name,
-                host_name=self.sed.host.name, nbytes=nbytes, volume=volume))
+            self.catalog.register(
+                Replica(
+                    data_id=data_id,
+                    sed_name=self.sed.name,
+                    host_name=self.sed.host.name,
+                    nbytes=nbytes,
+                    volume=volume,
+                )
+            )
 
     def _unregister(self, data_id: str) -> None:
         if self.catalog is not None:
             self.catalog.unregister(data_id, self.sed.name)
+
+    def _memo_evict(self, data_id: str) -> None:
+        """Eviction made a memoized result unservable: drop its entries.
+
+        STICKY pins are never evicted, so sticky memo entries survive by
+        construction — only unpinned persistent data reaches this.
+        """
+        if self.memo is not None:
+            self.memo.invalidate_data(data_id, self.engine.now)
 
     def note_reply_handle(self, nbytes: int) -> None:
         """A reply shipped a 64-byte handle instead of ``nbytes`` of data."""
@@ -185,13 +222,18 @@ class DataManager:
 
     # -- wire side ----------------------------------------------------------------
 
-    def serve(self, data_id: str) -> tuple:
+    def serve(self, data_id: str, allow_pinned: bool = False) -> tuple:
         """Look up a datum for a peer fetch; raises :class:`DataError` on a
-        miss or a pinned (STICKY — never moves) entry."""
+        miss or a pinned (STICKY — never moves) entry.
+
+        ``allow_pinned`` serves pinned entries anyway — the memo-hit
+        return path: stickiness forbids SeD-to-SeD replication, not
+        returning result bytes to a client.
+        """
         entry = self.store.entry(data_id)
         if entry is None:
             raise DataError(f"no persistent data {data_id!r} on {self.sed.name}")
-        if entry.pinned:
+        if entry.pinned and not allow_pinned:
             raise DataError(f"data {data_id!r} is sticky on {self.sed.name}")
         entry.last_used = self.engine.now
         return entry.value, entry.nbytes
@@ -211,19 +253,25 @@ class DataManager:
             if handle.sed_name == self.sed.name:
                 raise DataError(f"stale handle {handle.data_id!r}")
             value = yield from self.sed.endpoint.rpc(
-                handle.sed_name, "fetch_data", handle.data_id)
+                handle.sed_name, "fetch_data", handle.data_id
+            )
             return value
         value = yield from self.transfers.pull(handle)
         return value
 
     # -- checkpoints --------------------------------------------------------------
 
-    def register_checkpoint(self, path: str, nbytes: int,
-                            volume: "NfsVolume") -> None:
+    def register_checkpoint(
+        self, path: str, nbytes: int, volume: "NfsVolume"
+    ) -> None:
         """Advertise an NFS-resident checkpoint dump through the catalog."""
-        replica = Replica(data_id=f"ckpt:{path}", sed_name=self.sed.name,
-                          host_name=self.sed.host.name, nbytes=nbytes,
-                          volume=volume.name)
+        replica = Replica(
+            data_id=f"ckpt:{path}",
+            sed_name=self.sed.name,
+            host_name=self.sed.host.name,
+            nbytes=nbytes,
+            volume=volume.name,
+        )
         self._checkpoints[path] = replica
         if self.catalog is not None:
             self.catalog.register(replica)
@@ -241,17 +289,14 @@ class DataManager:
         written, stream it volume-to-volume, and resume.  Returns True when
         ``path`` now exists locally.
         """
-        if (self.grid is None or self.parent is None
-                or self.sed.nfs is None):
+        if self.grid is None or self.parent is None or self.sed.nfs is None:
             return False
         data_id = f"ckpt:{path}"
         try:
-            raw = yield from self.sed.endpoint.rpc(
-                self.parent, "dm_locate", data_id)
+            raw = yield from self.sed.endpoint.rpc(self.parent, "dm_locate", data_id)
         except CommunicationError:
             return False
-        remote = [r for r in raw
-                  if r.volume and r.volume != self.sed.nfs.name]
+        remote = [r for r in raw if r.volume and r.volume != self.sed.nfs.name]
         if not remote:
             return False
         source = min(remote, key=lambda r: r.sed_name)
@@ -265,7 +310,8 @@ class DataManager:
         try:
             nbytes = yield from volume.read(src_host, path)
             yield from self.sed.fabric.network.transfer(
-                src_host, self.sed.host.name, nbytes)
+                src_host, self.sed.host.name, nbytes
+            )
             yield from self.sed.nfs.write(self.sed.host.name, path, nbytes)
         except Exception:
             return False
@@ -281,6 +327,10 @@ class DataManager:
         if self.catalog is not None:
             for data_id in self.store.data_ids():
                 self.catalog.unregister(data_id, self.sed.name)
+        if self.memo is not None:
+            # Memoized results owned by this SeD died with its store; a
+            # client already holding a hit falls back to a re-solve.
+            self.memo.invalidate_owner(self.sed.name, self.engine.now)
         self.store.clear()
 
 
@@ -303,16 +353,18 @@ class DataGrid:
             existing = self._nodes[name] = CatalogNode(name, parent=self.root)
         return existing
 
-    def attach(self, sed: "SeD", node: CatalogNode,
-               config: DataManagerConfig) -> DataManager:
+    def attach(
+        self, sed: "SeD", node: CatalogNode, config: DataManagerConfig
+    ) -> DataManager:
         sed.data_manager.join_grid(self, node, config)
         self.managers[sed.name] = sed.data_manager
         return sed.data_manager
 
     # -- scheduling hook ----------------------------------------------------------
 
-    def transfer_cost(self, handles: Iterable[DataHandle],
-                      candidates: Iterable[str]) -> Dict[str, float]:
+    def transfer_cost(
+        self, handles: Iterable[DataHandle], candidates: Iterable[str]
+    ) -> Dict[str, float]:
         """Estimated seconds each candidate SeD would spend pulling the
         non-resident handles — the data-locality term MCT adds to its
         completion estimate.  Pure computation over the analytic
@@ -327,16 +379,20 @@ class DataGrid:
                 if handle.data_id in mgr.store:
                     continue  # resident: free
                 dst = mgr.sed.host.name
-                options = [
-                    0.0 if r.host_name == dst else
-                    self.network.transfer_time(r.host_name, dst,
-                                               r.nbytes or handle.nbytes)
-                    for r in replicas]
+                options = []
+                for r in replicas:
+                    if r.host_name == dst:
+                        options.append(0.0)
+                    else:
+                        options.append(
+                            self.network.transfer_time(
+                                r.host_name, dst, r.nbytes or handle.nbytes
+                            )
+                        )
                 if not options:
                     origin = self.managers.get(handle.sed_name)
                     src = origin.sed.host.name if origin else handle.sed_name
-                    options = [self.network.transfer_time(
-                        src, dst, handle.nbytes)]
+                    options = [self.network.transfer_time(src, dst, handle.nbytes)]
                 costs[name] += min(options)
         return costs
 
@@ -362,16 +418,21 @@ class DataGrid:
             by_cluster.setdefault(cluster, mgr)
         return [by_cluster[c] for c in sorted(by_cluster)]
 
-    def spawn_replication(self, owner: DataManager, target: DataManager,
-                          data_id: str, nbytes: int) -> None:
+    def spawn_replication(
+        self, owner: DataManager, target: DataManager, data_id: str, nbytes: int
+    ) -> None:
         """Background best-effort push of one replica (policy-initiated)."""
+
         def _replicate() -> Generator[Event, Any, None]:
             try:
                 value = yield from target.sed.endpoint.rpc(
-                    owner.sed.name, "dm_fetch", data_id)
+                    owner.sed.name, "dm_fetch", data_id
+                )
             except Exception:
                 return  # owner gone or data evicted meanwhile: never fatal
             self.stats.bytes_moved += nbytes
             target.admit_replica(data_id, value, nbytes)
+
         self.engine.process(
-            _replicate(), name=f"replicate:{data_id}->{target.sed.name}")
+            _replicate(), name=f"replicate:{data_id}->{target.sed.name}"
+        )

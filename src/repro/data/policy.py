@@ -80,5 +80,7 @@ def make_replication_policy(name: str) -> ReplicationPolicy:
     try:
         return REPLICATION_POLICIES[name]()
     except KeyError:
-        raise KeyError(f"unknown replication policy {name!r}; "
-                       f"known: {sorted(REPLICATION_POLICIES)}") from None
+        raise KeyError(
+            f"unknown replication policy {name!r}; "
+            f"known: {sorted(REPLICATION_POLICIES)}"
+        ) from None

@@ -124,8 +124,9 @@ def make_eviction(name: str) -> EvictionPolicy:
     try:
         return EVICTION_POLICIES[name]()
     except KeyError:
-        raise KeyError(f"unknown eviction policy {name!r}; "
-                       f"known: {sorted(EVICTION_POLICIES)}") from None
+        raise KeyError(
+            f"unknown eviction policy {name!r}; known: {sorted(EVICTION_POLICIES)}"
+        ) from None
 
 
 class DataStore:
@@ -139,8 +140,11 @@ class DataStore:
 
     _seqs = itertools.count()
 
-    def __init__(self, capacity_bytes: Optional[float] = None,
-                 eviction: Optional[EvictionPolicy] = None):
+    def __init__(
+        self,
+        capacity_bytes: Optional[float] = None,
+        eviction: Optional[EvictionPolicy] = None,
+    ):
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive (or None)")
         self.capacity_bytes = capacity_bytes
@@ -187,9 +191,17 @@ class DataStore:
 
     # -- mutation -----------------------------------------------------------------
 
-    def put(self, data_id: str, value: Any, nbytes: int, *, now: float,
-            pinned: bool = False, cost: float = 0.0,
-            digest: str = "") -> List[StoreEntry]:
+    def put(
+        self,
+        data_id: str,
+        value: Any,
+        nbytes: int,
+        *,
+        now: float,
+        pinned: bool = False,
+        cost: float = 0.0,
+        digest: str = "",
+    ) -> List[StoreEntry]:
         """Insert (or overwrite) an entry; returns the entries evicted to
         make room.  Raises :class:`StoreFullError` when the capacity cannot
         be met by evicting unpinned entries."""
@@ -202,24 +214,34 @@ class DataStore:
             if nbytes > self.capacity_bytes:
                 raise StoreFullError(
                     f"{data_id!r} ({nbytes} B) exceeds store capacity "
-                    f"{self.capacity_bytes:.0f} B")
+                    f"{self.capacity_bytes:.0f} B"
+                )
             while free_after + nbytes > self.capacity_bytes:
                 victim = self._pick_victim(exclude=data_id)
                 if victim is None:
                     raise StoreFullError(
                         f"cannot fit {data_id!r} ({nbytes} B): "
                         f"{self.pinned_bytes} B pinned of "
-                        f"{self.capacity_bytes:.0f} B capacity")
+                        f"{self.capacity_bytes:.0f} B capacity"
+                    )
                 self.remove(victim.data_id)
                 evicted.append(victim)
                 free_after = self.used_bytes - (
-                    old.nbytes if old and old.data_id in self._entries else 0)
+                    old.nbytes if old and old.data_id in self._entries else 0
+                )
         if old is not None:
             self.remove(data_id)
-        entry = StoreEntry(data_id=data_id, value=value, nbytes=nbytes,
-                           pinned=pinned, cost=cost, created=now,
-                           last_used=now, seq=next(DataStore._seqs),
-                           digest=digest)
+        entry = StoreEntry(
+            data_id=data_id,
+            value=value,
+            nbytes=nbytes,
+            pinned=pinned,
+            cost=cost,
+            created=now,
+            last_used=now,
+            seq=next(DataStore._seqs),
+            digest=digest,
+        )
         self._entries[data_id] = entry
         if digest:
             self._by_digest[digest] = data_id
@@ -227,8 +249,9 @@ class DataStore:
         return evicted
 
     def _pick_victim(self, exclude: str) -> Optional[StoreEntry]:
-        candidates = [e for e in self._entries.values()
-                      if not e.pinned and e.data_id != exclude]
+        candidates = [
+            e for e in self._entries.values() if not e.pinned and e.data_id != exclude
+        ]
         if not candidates:
             return None
         return min(candidates, key=self.eviction.rank)
@@ -243,7 +266,5 @@ class DataStore:
         return entry
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        cap = ("inf" if self.capacity_bytes is None
-               else f"{self.capacity_bytes:.0f}")
-        return (f"DataStore({len(self._entries)} entries, "
-                f"{self.used_bytes}/{cap} B)")
+        cap = "inf" if self.capacity_bytes is None else f"{self.capacity_bytes:.0f}"
+        return f"DataStore({len(self._entries)} entries, {self.used_bytes}/{cap} B)"

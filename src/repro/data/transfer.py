@@ -72,9 +72,14 @@ class TransferManager:
         span = None
         if obs.enabled:
             span = obs.spans.begin(
-                f"data:{mgr.sed.name}", "pull", mgr.engine.now, "data",
-                data_id=handle.data_id, nbytes=handle.nbytes,
-                sed=mgr.sed.name)
+                f"data:{mgr.sed.name}",
+                "pull",
+                mgr.engine.now,
+                "data",
+                data_id=handle.data_id,
+                nbytes=handle.nbytes,
+                sed=mgr.sed.name,
+            )
         try:
             replicas = yield from self._locate(handle)
             value, via = yield from self._fetch(handle, replicas)
@@ -97,36 +102,48 @@ class TransferManager:
         replicas: List[Replica] = []
         if mgr.parent is not None:
             raw = yield from mgr.sed.endpoint.rpc(
-                mgr.parent, "dm_locate", handle.data_id)
+                mgr.parent, "dm_locate", handle.data_id
+            )
             replicas = [r for r in raw if r.sed_name != mgr.sed.name]
         if not replicas:
             # Catalog knows nothing (e.g. legacy handle minted before the
             # grid was wired): trust the handle's origin SeD.
             origin = mgr.grid.managers.get(handle.sed_name) if mgr.grid else None
             host = origin.sed.host.name if origin else handle.sed_name
-            replicas = [Replica(data_id=handle.data_id,
-                                sed_name=handle.sed_name,
-                                host_name=host, nbytes=handle.nbytes)]
+            replicas = [
+                Replica(
+                    data_id=handle.data_id,
+                    sed_name=handle.sed_name,
+                    host_name=host,
+                    nbytes=handle.nbytes,
+                )
+            ]
         return replicas
 
-    def _fetch(self, handle: "DataHandle",
-               replicas: List[Replica]) -> Generator[Event, Any, Tuple[Any, str]]:
+    def _fetch(
+        self, handle: "DataHandle", replicas: List[Replica]
+    ) -> Generator[Event, Any, Tuple[Any, str]]:
         """Try replicas nearest-first; returns ``(value, via)`` where via
         is ``"nfs"`` or ``"net"``."""
         mgr = self.manager
         my_host = mgr.sed.host.name
         network = mgr.sed.fabric.network
-        ranked = sorted(
-            replicas,
-            key=lambda r: (network.transfer_time(r.host_name, my_host,
-                                                 r.nbytes or handle.nbytes),
-                           r.sed_name))
-        last_error: Exception = DataError(
-            f"no replica of {handle.data_id!r} reachable")
+
+        def _rank(r: Replica) -> Tuple[float, str]:
+            cost = network.transfer_time(
+                r.host_name, my_host, r.nbytes or handle.nbytes
+            )
+            return cost, r.sed_name
+
+        ranked = sorted(replicas, key=_rank)
+        last_error: Exception = DataError(f"no replica of {handle.data_id!r} reachable")
         for rep in ranked:
             try:
-                if (mgr.nfs_fastpath and mgr.sed.nfs is not None
-                        and rep.volume == mgr.sed.nfs.name):
+                if (
+                    mgr.nfs_fastpath
+                    and mgr.sed.nfs is not None
+                    and rep.volume == mgr.sed.nfs.name
+                ):
                     # Same volume: a sibling already staged the bytes here.
                     nbytes = rep.nbytes or handle.nbytes
                     yield from mgr.sed.nfs.read_bytes(my_host, nbytes)
@@ -134,16 +151,17 @@ class TransferManager:
                     mgr.stats.bytes_nfs += nbytes
                     return value, "nfs"
                 value = yield from mgr.sed.endpoint.rpc(
-                    rep.sed_name, "dm_fetch", handle.data_id)
+                    rep.sed_name, "dm_fetch", handle.data_id
+                )
                 mgr.stats.bytes_moved += rep.nbytes or handle.nbytes
                 return value, "net"
             except (DataError, CommunicationError) as exc:
                 last_error = exc
-        raise DataError(f"all replicas of {handle.data_id!r} failed: "
-                        f"{last_error}")
+        raise DataError(f"all replicas of {handle.data_id!r} failed: {last_error}")
 
-    def _peer_value(self, rep: Replica,
-                    handle: "DataHandle") -> Generator[Event, Any, Any]:
+    def _peer_value(
+        self, rep: Replica, handle: "DataHandle"
+    ) -> Generator[Event, Any, Any]:
         """Value for an NFS fast-path read: from the peer's local store if
         this process can see it, else a zero-cost control RPC."""
         mgr = self.manager
@@ -153,5 +171,6 @@ class TransferManager:
             if entry is not None and not entry.pinned:  # sticky never moves
                 return entry.value
         value = yield from mgr.sed.endpoint.rpc(
-            rep.sed_name, "dm_fetch", handle.data_id)
+            rep.sed_name, "dm_fetch", handle.data_id
+        )
         return value

@@ -12,6 +12,16 @@ latency, per routing mode.  ``peak_heap`` tracks the event-heap
 high-water mark — the regression guard for the park-watchdog leak that
 used to grow the heap by one dead timer per admitted-after-park request.
 
+With ``memo="on"`` the sweep additionally exercises grid-wide result
+memoization (:mod:`repro.data.memo`): clients key each request on its
+canonical descriptor, the OUT argument becomes ``PERSISTENT_RETURN`` so
+solved results stay on the owning SeD, and repeated requests from the
+Zipf-skewed population short-circuit to catalog hits instead of solves.
+Each point then also reports hit/miss/invalidation counts, so the report
+shows hit rate rising with Zipf skew ``s`` and finding time falling at
+high skew.  The memo-off arm is byte-identical to the sweep before
+memoization existed.
+
 Every point is a pure function of its arguments, so the sweep runs under
 ``--jobs`` with byte-identical results, and the same seed reruns
 bit-identically with observability on or off.
@@ -24,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.agent import ROUTING_MODES, AgentParams
-from ..core.data import BaseType, scalar_desc
+from ..core.data import BaseType, PersistenceMode, scalar_desc
 from ..core.exceptions import CommunicationError, ServerNotFoundError
 from ..core.federation import (
     ChurnPlan,
@@ -72,9 +82,22 @@ class LoadPoint:
     latency_p99: float
     peak_heap: int
     events: int
+    #: Zipf skew of the client population and whether memoization ran;
+    #: defaulted so memo-off points pickle-compare against older sweeps.
+    zipf_s: float = 1.1
+    memo: str = "off"
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_invalidations: int = 0
+    memo_fallbacks: int = 0
     #: Span store when the point ran with observability (None otherwise);
     #: excluded from equality so observe on/off results compare equal.
     span_store: Any = field(default=None, compare=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
 
 @dataclass
@@ -88,6 +111,8 @@ class LoadResult:
     n_grids: int
     clusters_per_grid: int
     churn: int
+    zipf: Tuple[float, ...] = (1.1,)
+    memo: str = "off"
     runs: List[LoadPoint] = field(default_factory=list)
 
     def points(self, routing: str) -> List[LoadPoint]:
@@ -99,10 +124,14 @@ class LoadResult:
         return max(p.throughput for p in points) if points else 0.0
 
 
-def _service_desc(name: str) -> ProfileDesc:
+def _service_desc(name: str, memo: bool = False) -> ProfileDesc:
     desc = ProfileDesc(name, 0, 0, 1)
     desc.set_arg(0, scalar_desc(BaseType.INT))
-    desc.set_arg(1, scalar_desc(BaseType.INT))
+    # Memoized runs persist the result on the owning SeD so later hits
+    # can fetch it; VOLATILE outputs are never memoized by design.
+    out_mode = (PersistenceMode.PERSISTENT_RETURN if memo
+                else PersistenceMode.VOLATILE)
+    desc.set_arg(1, scalar_desc(BaseType.INT, out_mode))
     return desc
 
 
@@ -117,8 +146,10 @@ def _make_solver(work: float):
 
 def _run_point(routing: str, offered: float, duration: float,
                n_clients: int, n_grids: int, clusters_per_grid: int,
-               churn: int, seed: int, observe: bool = False) -> LoadPoint:
+               churn: int, seed: int, observe: bool = False,
+               zipf_s: float = 1.1, memo: str = "off") -> LoadPoint:
     """One load point, a pure function of its arguments (worker-safe)."""
+    memo_on = memo == "on"
     engine = Engine()
     obs = Observability() if observe else None
     agent_params = (AgentParams(heartbeat_interval=1.0) if churn > 0
@@ -127,17 +158,19 @@ def _run_point(routing: str, offered: float, duration: float,
         engine,
         FederationConfig(n_grids=n_grids,
                          clusters_per_grid=clusters_per_grid,
-                         routing=routing, agent_params=agent_params),
+                         routing=routing, agent_params=agent_params,
+                         memo=memo_on),
         obs=obs)
     for cls in DEFAULT_MIX:
         federation.add_service_everywhere(
-            lambda name=cls.name: _service_desc(name),
+            lambda name=cls.name: _service_desc(name, memo_on),
             _make_solver(cls.work))
     federation.launch_all()
 
     streams = RandomStreams(seed)
     arrivals = generate_arrivals(
-        TrafficConfig(rate=offered, duration=duration, n_clients=n_clients),
+        TrafficConfig(rate=offered, duration=duration, n_clients=n_clients,
+                      zipf_s=zipf_s),
         streams)
     if churn > 0:
         schedule_churn(
@@ -149,9 +182,11 @@ def _run_point(routing: str, offered: float, duration: float,
     clients = [FederatedClient(federation.fabric, federation.client_host,
                                name=f"fedcli{g}",
                                ma_names=federation.ma_names, home=g,
-                               tracer=federation.tracer)
+                               tracer=federation.tracer,
+                               memo_enabled=memo_on)
                for g in range(n_grids)]
-    descs = {cls.name: _service_desc(cls.name) for cls in DEFAULT_MIX}
+    descs = {cls.name: _service_desc(cls.name, memo_on)
+             for cls in DEFAULT_MIX}
 
     stats: Dict[str, int] = {"completed": 0, "failed": 0, "rejected": 0}
     finds: List[float] = []
@@ -159,7 +194,10 @@ def _run_point(routing: str, offered: float, duration: float,
 
     def one_request(arrival):
         profile = descs[arrival.request_class.name].instantiate()
-        profile.parameter(0).set(1)
+        # Memoized runs key the input on the client id: the Zipf-skewed
+        # population then repeats identical requests, and skew controls
+        # how often the grid has seen a request before.
+        profile.parameter(0).set(arrival.client if memo_on else 1)
         profile.parameter(1).set(None)
         started = engine.now
         client = clients[arrival.client % len(clients)]
@@ -200,6 +238,8 @@ def _run_point(routing: str, offered: float, duration: float,
     engine.run_until_complete(drive())
     makespan = engine.now
 
+    memo_stats = (federation.memo.stats if federation.memo is not None
+                  else None)
     return LoadPoint(
         routing=routing, offered=offered, duration=duration,
         n_arrivals=len(arrivals), completed=stats["completed"],
@@ -212,6 +252,12 @@ def _run_point(routing: str, offered: float, duration: float,
         latency_p50=percentile(latencies, 50.0) if latencies else float("nan"),
         latency_p99=percentile(latencies, 99.0) if latencies else float("nan"),
         peak_heap=peak["heap"], events=engine.events_scheduled,
+        zipf_s=zipf_s, memo=memo,
+        memo_hits=memo_stats.hits if memo_stats else 0,
+        memo_misses=memo_stats.misses if memo_stats else 0,
+        memo_invalidations=memo_stats.invalidations if memo_stats else 0,
+        memo_fallbacks=(sum(c.memo_fallbacks for c in clients)
+                        if memo_on else 0),
         span_store=obs.spans if obs is not None else None)
 
 
@@ -220,18 +266,27 @@ def run(loads: Sequence[float] = DEFAULT_LOADS,
         duration: float = 60.0, n_clients: int = 1000,
         n_grids: int = 2, clusters_per_grid: int = 2, churn: int = 2,
         seed: int = 2007, jobs: Optional[int] = None,
-        observe: bool = False) -> LoadResult:
-    """Sweep every (routing, load) point; parallel == serial byte for byte.
+        observe: bool = False, zipf: Sequence[float] = (1.1,),
+        memo: str = "off") -> LoadResult:
+    """Sweep every (routing, zipf, load) point; parallel == serial.
 
     ``jobs`` fans the points over worker processes; each point is a pure
     function of its arguments, so results are identical in task order.
+    ``memo="on"`` enables grid-wide result memoization; ``zipf`` sweeps
+    the client-population skew (keys stay unchanged for a single skew so
+    memo-off output is byte-identical to the pre-memo sweep).
     """
-    tasks = [Task(key=f"{routing}@{load:g}", func=_run_point,
+    if memo not in ("on", "off"):
+        raise ValueError(f"memo must be 'on' or 'off', got {memo!r}")
+    tasks = [Task(key=(f"{routing}@{load:g}" if len(zipf) == 1
+                       else f"{routing}@{load:g}@s{z:g}"),
+                  func=_run_point,
                   args=(routing, float(load), float(duration), n_clients,
-                        n_grids, clusters_per_grid, churn, seed, observe),
+                        n_grids, clusters_per_grid, churn, seed, observe,
+                        float(z), memo),
                   seed=derive_seed(seed, i))
-             for i, (routing, load) in enumerate(
-                 (r, l) for r in routings for l in loads)]
+             for i, (routing, z, load) in enumerate(
+                 (r, z, l) for r in routings for z in zipf for l in loads)]
     # Detach each point through a pickle round trip: worker results arrive
     # detached (their strings/floats share nothing with this process), so
     # serial points must shed their shared references too or the two sweeps
@@ -242,6 +297,7 @@ def run(loads: Sequence[float] = DEFAULT_LOADS,
                       routings=tuple(routings), duration=float(duration),
                       n_clients=n_clients, n_grids=n_grids,
                       clusters_per_grid=clusters_per_grid, churn=churn,
+                      zipf=tuple(float(z) for z in zipf), memo=memo,
                       runs=list(points))
 
 
@@ -254,31 +310,61 @@ def _ms(v: float) -> str:
 
 
 def render(result: LoadResult) -> str:
+    memo_on = result.memo == "on"
+    multi_z = len(result.zipf) > 1
     lines = [
         f"E13 - federated load sweep: {result.n_grids} grids x "
         f"{result.clusters_per_grid} clusters, {result.n_clients} clients "
         f"(Zipf), {result.churn} SeD outages, {result.duration:g}s of "
         f"open-loop arrivals",
     ]
+    if memo_on:
+        lines.append("memoization: on (canonical request descriptors, "
+                     "PERSISTENT results)")
+    headers = ["offered/s", "arrived", "done", "rej", "lost", "redir",
+               "thrpt/s", "find p50", "find p99", "lat p50", "lat p99",
+               "peak heap"]
+    if multi_z:
+        headers.insert(1, "zipf s")
+    if memo_on:
+        headers.append("hit%")
     for routing in result.routings:
         rows = []
         for p in result.points(routing):
-            rows.append((f"{p.offered:g}", p.n_arrivals, p.completed,
-                         p.rejected, p.failed, p.redirects,
-                         f"{p.throughput:.2f}",
-                         _ms(p.find_p50), _ms(p.find_p99),
-                         _sec(p.latency_p50), _sec(p.latency_p99),
-                         p.peak_heap))
+            row = [f"{p.offered:g}", p.n_arrivals, p.completed,
+                   p.rejected, p.failed, p.redirects,
+                   f"{p.throughput:.2f}",
+                   _ms(p.find_p50), _ms(p.find_p99),
+                   _sec(p.latency_p50), _sec(p.latency_p99),
+                   p.peak_heap]
+            if multi_z:
+                row.insert(1, f"{p.zipf_s:g}")
+            if memo_on:
+                row.append(f"{p.hit_rate * 100:.1f}")
+            rows.append(tuple(row))
         lines.append("")
         lines.append(f"routing={routing}")
-        lines.append(ascii_table(
-            ("offered/s", "arrived", "done", "rej", "lost", "redir",
-             "thrpt/s", "find p50", "find p99", "lat p50", "lat p99",
-             "peak heap"), rows))
+        lines.append(ascii_table(tuple(headers), rows))
     lines.append("")
     for routing in result.routings:
         lines.append(f"{routing} saturation throughput: "
                      f"{result.saturation(routing):.2f} requests/s")
     redirected = sum(p.redirects for p in result.runs)
     lines.append(f"inter-MA redirects across the sweep: {redirected}")
+    if memo_on:
+        lines.append("")
+        for routing in result.routings:
+            for z in result.zipf:
+                pts = [p for p in result.points(routing)
+                       if p.zipf_s == z]
+                hits = sum(p.memo_hits for p in pts)
+                misses = sum(p.memo_misses for p in pts)
+                inval = sum(p.memo_invalidations for p in pts)
+                fallbacks = sum(p.memo_fallbacks for p in pts)
+                rate = hits / (hits + misses) if hits + misses else 0.0
+                lines.append(
+                    f"{routing} memo at zipf s={z:g}: "
+                    f"hit rate {rate * 100:.1f}% "
+                    f"({hits} hits / {misses} misses, "
+                    f"{inval} invalidations, {fallbacks} fallbacks)")
     return "\n".join(lines)

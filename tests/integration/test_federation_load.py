@@ -77,3 +77,73 @@ class TestFederatedLoadSweep:
         assert "inter-MA redirects" in text
         for routing in result.routings:
             assert f"routing={routing}" in text
+
+    def test_memo_off_render_mentions_no_memo(self, result):
+        """The memo-off report must look exactly like the pre-memo one —
+        no columns, no summary lines, no mention of memoization."""
+        text = load_federation.render(result)
+        assert "memo" not in text
+        assert "hit" not in text
+        assert "zipf s" not in text
+
+
+#: Quick memo sweep: a near-uniform and a hard-skewed client population.
+ZIPF = (0.3, 2.5)
+MEMO_KW = dict(KW, zipf=ZIPF, memo="on")
+
+
+class TestMemoizedLoadSweep:
+    @pytest.fixture(scope="class")
+    def memo_result(self):
+        return load_federation.run(**MEMO_KW)
+
+    @pytest.fixture(scope="class")
+    def plain_result(self):
+        return load_federation.run(**dict(KW, zipf=ZIPF))
+
+    def test_hit_rate_rises_with_zipf_skew(self, memo_result):
+        for routing in memo_result.routings:
+            points = memo_result.points(routing)
+            by_skew = {}
+            for p in points:
+                hits, misses = by_skew.get(p.zipf_s, (0, 0))
+                by_skew[p.zipf_s] = (hits + p.memo_hits,
+                                     misses + p.memo_misses)
+            rates = {z: h / (h + m) for z, (h, m) in by_skew.items()}
+            assert rates[ZIPF[-1]] > rates[ZIPF[0]], routing
+            # hard skew: most requests repeat, so well over half hit
+            assert rates[ZIPF[-1]] > 0.5, routing
+
+    def test_memo_cuts_finding_time_at_high_skew(self, memo_result,
+                                                 plain_result):
+        """Pull-mode P50 finding time must drop strictly: a hit skips the
+        whole estimate fan-out and costs one MA round trip."""
+        for offered in LOADS:
+            memo_p = [p for p in memo_result.points("pull")
+                      if p.zipf_s == ZIPF[-1] and p.offered == offered][0]
+            plain_p = [p for p in plain_result.points("pull")
+                       if p.zipf_s == ZIPF[-1] and p.offered == offered][0]
+            assert memo_p.find_p50 < plain_p.find_p50
+
+    def test_churn_invalidates_some_entries(self, memo_result):
+        """SeD churn is active: across the sweep at least one crash must
+        have dropped memo entries through the invalidation cascade."""
+        total = sum(p.memo_invalidations for p in memo_result.runs)
+        assert total > 0
+
+    def test_memo_rerun_is_bit_identical(self, memo_result):
+        again = load_federation.run(**MEMO_KW)
+        assert canonical_pickle(again) == canonical_pickle(memo_result)
+
+    def test_memo_parallel_is_byte_identical_to_serial(self, memo_result):
+        parallel = load_federation.run(**MEMO_KW, jobs=2)
+        assert canonical_pickle(parallel) == canonical_pickle(memo_result)
+
+    def test_memo_render_reports_hit_rates(self, memo_result):
+        text = load_federation.render(memo_result)
+        assert "memoization: on" in text
+        assert "hit%" in text
+        assert "zipf s" in text
+        for routing in memo_result.routings:
+            for z in ZIPF:
+                assert f"{routing} memo at zipf s={z:g}:" in text

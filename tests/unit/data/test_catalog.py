@@ -4,9 +4,13 @@ from repro.data import CatalogNode, Replica
 
 
 def rep(data_id, sed, host=None, nbytes=100, volume=""):
-    return Replica(data_id=data_id, sed_name=sed,
-                   host_name=host or f"host-{sed}", nbytes=nbytes,
-                   volume=volume)
+    return Replica(
+        data_id=data_id,
+        sed_name=sed,
+        host_name=host or f"host-{sed}",
+        nbytes=nbytes,
+        volume=volume,
+    )
 
 
 class TestRegistration:
@@ -48,8 +52,7 @@ class TestLocate:
         root = CatalogNode("MA")
         for sed in ("sed-c", "sed-a", "sed-b"):
             root.register(rep("d1", sed))
-        assert [r.sed_name for r in root.locate("d1")] == \
-            ["sed-a", "sed-b", "sed-c"]
+        assert [r.sed_name for r in root.locate("d1")] == ["sed-a", "sed-b", "sed-c"]
 
     def test_unknown_id_is_empty(self):
         assert CatalogNode("MA").locate("ghost") == []

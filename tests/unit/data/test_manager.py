@@ -30,8 +30,9 @@ def _solve_noop(profile, ctx):
 
 
 def build(config=None, **kwargs):
-    dep = deploy_paper_hierarchy(build_grid5000(Engine()),
-                                 data=config or DataManagerConfig(**kwargs))
+    dep = deploy_paper_hierarchy(
+        build_grid5000(Engine()), data=config or DataManagerConfig(**kwargs)
+    )
     for sed in dep.seds:
         sed.add_service(_noop_desc(), _solve_noop)
     dep.launch_all()
@@ -59,7 +60,7 @@ class TestCatalogWiring:
         value = np.arange(64, dtype=float)
         h1 = put(sed, "d1", value, 512)
         h2 = put(sed, "d2", value.copy(), 512)
-        assert h2.data_id == h1.data_id          # aliased, not re-stored
+        assert h2.data_id == h1.data_id  # aliased, not re-stored
         assert len(sed.data_store) == 1
         assert dep.data_grid.stats.dedup == 1
 
@@ -67,8 +68,7 @@ class TestCatalogWiring:
         dep = build()
         sed = dep.seds[0]
         put(sed, "d1", "x", 100)
-        dep.engine.run_process(
-            sed.nfs.write(sed.host.name, "zoom/ckpt", 500))
+        dep.engine.run_process(sed.nfs.write(sed.host.name, "zoom/ckpt", 500))
         sed.data_manager.register_checkpoint("zoom/ckpt", 500, sed.nfs)
         sed.crash()
         assert dep.data_grid.root.locate("d1") == []
@@ -104,7 +104,7 @@ class TestResolve:
         assert dep.engine.run_process(run()) == "payload"
         stats = dep.data_grid.stats
         assert stats.bytes_nfs == 10_000
-        assert stats.bytes_moved == 0        # never crossed the network
+        assert stats.bytes_moved == 0  # never crossed the network
 
     def test_cross_cluster_pull_moves_bytes(self):
         dep = build()
@@ -138,7 +138,7 @@ class TestResolve:
         assert values == ["payload", "payload"]
         stats = dep.data_grid.stats
         assert stats.coalesced == 1
-        assert stats.bytes_moved == 10_000   # one wire transfer, not two
+        assert stats.bytes_moved == 10_000  # one wire transfer, not two
 
     def test_unknown_id_raises_data_error(self):
         dep = build()
@@ -157,20 +157,18 @@ class TestReplication:
         dep = build(replication="eager-broadcast")
         owner = dep.seds[0]
         put(owner, "d1", "payload", 5000)
-        dep.engine.run()                      # drain the replication pushes
+        dep.engine.run()  # drain the replication pushes
         holders = {r.sed_name for r in dep.data_grid.root.locate("d1")}
         assert owner.name in holders
-        other_clusters = {s.cluster for s in dep.seds
-                          if s.cluster != owner.cluster}
-        replicated = {dep.sed_by_name(n).cluster
-                      for n in holders if n != owner.name}
+        other_clusters = {s.cluster for s in dep.seds if s.cluster != owner.cluster}
+        replicated = {dep.sed_by_name(n).cluster for n in holders if n != owner.name}
         assert replicated == other_clusters
         assert dep.data_grid.stats.replicas == len(other_clusters)
 
     def test_pulled_copies_stay_put_under_any_policy(self):
         """DTM semantics: a pulled PERSISTENT datum remains on the pulling
         SeD even with replication disabled."""
-        dep = build()                          # replication="none"
+        dep = build()  # replication="none"
         owner = dep.seds[0]
         remote = next(s for s in dep.seds if s.cluster != owner.cluster)
         handle = put(owner, "d1", "payload", 5000)
@@ -183,7 +181,7 @@ class TestReplication:
         # A second resolve on the same SeD is now a local hit.
         dep.engine.run_process(run())
         assert dep.data_grid.stats.hits == 1
-        assert dep.data_grid.stats.bytes_moved == 5000   # one transfer only
+        assert dep.data_grid.stats.bytes_moved == 5000  # one transfer only
 
     def test_per_cluster_policy_pushes_a_sibling_replica(self):
         dep = build(replication="per-cluster")
@@ -191,13 +189,12 @@ class TestReplication:
         sibling = dep.seds[1]
         assert owner.cluster == sibling.cluster
         put(owner, "d1", "payload", 5000)
-        dep.engine.run()                      # drain the replication push
+        dep.engine.run()  # drain the replication push
         holders = {r.sed_name for r in dep.data_grid.root.locate("d1")}
         assert holders == {owner.name, sibling.name}
         # The owner crashing no longer loses the dataset.
         owner.crash()
-        assert [r.sed_name for r in dep.data_grid.root.locate("d1")] == \
-            [sibling.name]
+        assert [r.sed_name for r in dep.data_grid.root.locate("d1")] == [sibling.name]
 
 
 class TestEvictionOnGrid:
@@ -206,7 +203,7 @@ class TestEvictionOnGrid:
         sed = dep.seds[0]
         put(sed, "sticky", "s", 600, mode=PersistenceMode.STICKY)
         put(sed, "loose", "l", 300)
-        put(sed, "new", "n", 300)             # forces one eviction
+        put(sed, "new", "n", 300)  # forces one eviction
         assert "sticky" in sed.data_manager.store
         assert "loose" not in sed.data_manager.store
         assert dep.data_grid.stats.evictions == 1
@@ -217,8 +214,7 @@ class TestEvictionOnGrid:
         dep = build()
         owner = dep.seds[0]
         remote = next(s for s in dep.seds if s.cluster != owner.cluster)
-        handle = put(owner, "pin", "secret", 100,
-                     mode=PersistenceMode.STICKY)
+        handle = put(owner, "pin", "secret", 100, mode=PersistenceMode.STICKY)
 
         def run():
             yield from remote.data_manager.resolve(handle)
@@ -231,7 +227,7 @@ class TestSchedulingHook:
     def test_transfer_cost_zero_when_resident(self):
         dep = build()
         sed = dep.seds[0]
-        handle = put(sed, "d1", "payload", 10 ** 8)
+        handle = put(sed, "d1", "payload", 10**8)
         costs = dep.data_grid.transfer_cost([handle], dep.sed_names)
         assert costs[sed.name] == 0.0
         others = [c for n, c in costs.items() if n != sed.name]
@@ -249,11 +245,12 @@ class TestSchedulingHook:
 
         dep = build()
         owner = dep.seds[0]
-        handle = put(owner, "d1", "payload", 10 ** 9)
+        handle = put(owner, "d1", "payload", 10**9)
         ctx = SchedulingContext()
-        ctx.data_transfer_cost = dep.data_grid.transfer_cost(
-            [handle], dep.sed_names)
-        cands = [EstimationVector(n, {"EST_SPEED": 1.0, "EST_TCOMP": 100.0})
-                 for n in dep.sed_names]
+        ctx.data_transfer_cost = dep.data_grid.transfer_cost([handle], dep.sed_names)
+        cands = [
+            EstimationVector(n, {"EST_SPEED": 1.0, "EST_TCOMP": 100.0})
+            for n in dep.sed_names
+        ]
         chosen = make_policy("mct").choose(cands, ctx)
         assert chosen.sed_name == owner.name

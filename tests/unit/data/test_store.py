@@ -74,7 +74,7 @@ class TestEviction:
         store = DataStore(capacity_bytes=100)
         store.put("old", "x", 40, now=0.0)
         store.put("new", "y", 40, now=1.0)
-        store.entry("old").last_used = 2.0    # touch: old is now fresher
+        store.entry("old").last_used = 2.0  # touch: old is now fresher
         evicted = store.put("big", "z", 40, now=3.0)
         assert [e.data_id for e in evicted] == ["new"]
         assert "old" in store and "big" in store
