@@ -36,6 +36,7 @@ from .experiments import (
     load_federation,
     overhead,
     scaling_nodes,
+    survey_campaign,
     table_timings,
 )
 
@@ -89,11 +90,26 @@ _EXPERIMENTS: Dict[str, Tuple[str, Callable[..., Any], Callable[[Any], str]]] = 
                  zipf=tuple(float(x) for x in args.zipf.split(",")),
                  memo=args.memo),
              load_federation.render),
+    "survey": ("E14: survey campaign (cosmology-grid DAGs + zoom mix; "
+               "scheduler and data-policy ablations)",
+               lambda args: survey_campaign.run(
+                   routings=tuple(args.routings.split(",")),
+                   policies=tuple(args.policies.split(",")),
+                   data_policies=tuple(args.data_policies.split(",")),
+                   shape=tuple(int(x) for x in args.points.split("x")),
+                   resolution=args.resolution, n_planes=args.planes,
+                   z_source=args.z_source, zooms=args.zooms,
+                   n_grids=args.grids,
+                   clusters_per_grid=args.clusters_per_grid,
+                   seed=args.seed, jobs=args.jobs,
+                   observe=bool(args.trace or args.gantt_svg
+                                or args.profile)),
+               survey_campaign.render),
 }
 
 #: Experiments that sweep independent runs and accept ``--jobs``.
 _PARALLEL = ("ablation", "routing", "scaling", "degraded", "data-locality",
-             "load")
+             "load", "survey")
 
 
 def _campaigns_of(result: Any) -> List[Any]:
@@ -261,6 +277,41 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--memo", choices=["on", "off"], default="off",
                            help="grid-wide result memoization keyed on "
                                 "canonical request descriptors (default off)")
+        if name == "survey":
+            p.add_argument("--points", default="3x3",
+                           help="cosmology grid shape as NXxNY over the "
+                                "(omega_m, sigma8) plane (default 3x3)")
+            p.add_argument("--resolution", type=int, default=64,
+                           help="survey box resolution per dimension "
+                                "(default 64)")
+            p.add_argument("--planes", type=int, default=8,
+                           help="lens planes per convergence map (default 8)")
+            p.add_argument("--z-source", type=float, default=1.0,
+                           help="source redshift of the lensing stage "
+                                "(default 1.0)")
+            p.add_argument("--zooms", type=int, default=4,
+                           help="background ramsesZoom2 requests sharing "
+                                "the SeDs (default 4; 0 disables)")
+            p.add_argument("--routings", default="pull,push",
+                           help="comma-separated routing modes "
+                                "(default pull,push)")
+            p.add_argument("--policies", default="default,mct",
+                           help="comma-separated scheduler policies "
+                                "(default default,mct)")
+            p.add_argument("--data-policies",
+                           default="volatile,persistent,replicated",
+                           help="comma-separated data policies "
+                                "(default volatile,persistent,replicated)")
+            p.add_argument("--grids", type=int, default=2,
+                           help="MA hierarchies in the federation (default 2)")
+            p.add_argument("--clusters-per-grid", type=int, default=3,
+                           help="clusters per grid from the paper catalogue "
+                                "(default 3: Lyon x2 + Lille, so survey "
+                                "traffic crosses priced WAN uplinks)")
+            p.add_argument("--seed", type=int, default=2007)
+            p.add_argument("--batch-dir", metavar="PATH", default=None,
+                           help="materialize each arm's products as a "
+                                "LensTools-style home/storage batch tree")
         _add_obs_flags(p)
 
     campaign = sub.add_parser("campaign",
@@ -306,6 +357,10 @@ def main(argv: Optional[list] = None) -> int:
         _desc, run, render = _EXPERIMENTS[args.command]
         result = run(args)
         print(render(result))
+        if getattr(args, "batch_dir", None):
+            for path in survey_campaign.write_batches(result,
+                                                      args.batch_dir):
+                print(f"batch manifest: {path}")
     for line in _export_observability(args, result):
         print(line)
     return 0

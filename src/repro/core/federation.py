@@ -48,6 +48,7 @@ from ..sim.network import Host, Link
 from ..sim.rng import RandomStreams
 from .agent import AgentParams, LocalAgent, MasterAgent
 from .client import absorb_memo_hit
+from .data import DataHandle
 from .exceptions import (CommunicationError, DataError, DietError,
                          ServerNotFoundError)
 from .profile import Profile
@@ -82,6 +83,20 @@ class FederationConfig:
     #: populated by every SeD.  Off by default — a memo-less federation is
     #: byte-identical to one built before the memo existed.
     memo: bool = False
+    #: Scheduling policy name (:data:`repro.core.scheduling.POLICIES`) each
+    #: MA runs; None keeps the DefaultPolicy (the paper's baseline).
+    policy: Optional[str] = None
+    #: Attach a federation-wide :class:`~repro.data.manager.DataGrid` with
+    #: this :class:`~repro.data.manager.DataManagerConfig` (replica catalog
+    #: on every agent, per-SeD stores, MCT data-locality hook).  None — the
+    #: default — wires nothing, byte-identical to before the data layer.
+    data: Optional[Any] = None
+    #: Where :class:`FederatedClient`\s run.  ``"per-grid"`` attaches one
+    #: client host per grid to that grid's first site router, so client→MA
+    #: latency is priced by the network model; ``"core"`` is the legacy
+    #: placement on the shared core service node (kept for byte-compat
+    #: with pre-existing sweeps — E13 pins it).
+    client_placement: str = "per-grid"
 
     def __post_init__(self) -> None:
         if self.n_grids < 1:
@@ -89,6 +104,9 @@ class FederationConfig:
         if self.clusters_per_grid < 1:
             raise ValueError(f"clusters_per_grid must be >= 1, "
                              f"got {self.clusters_per_grid}")
+        if self.client_placement not in ("per-grid", "core"):
+            raise ValueError(f"client_placement must be 'per-grid' or "
+                             f"'core', got {self.client_placement!r}")
 
 
 def federation_cluster_specs(n_grids: int,
@@ -120,6 +138,9 @@ class FederatedGrid:
     ma: MasterAgent
     local_agents: List[LocalAgent] = field(default_factory=list)
     seds: List[SeD] = field(default_factory=list)
+    #: This grid's dedicated client host ("per-grid" placement); None
+    #: under the legacy "core" placement.
+    client_host: Optional[Host] = None
 
     def launch(self) -> None:
         self.ma.launch()
@@ -142,6 +163,9 @@ class Federation:
     #: The shared :class:`repro.data.memo.MemoIndex` when
     #: ``config.memo`` is set; None otherwise.
     memo: Optional[Any] = None
+    #: The federation-wide :class:`~repro.data.manager.DataGrid` when
+    #: ``config.data`` is set; None otherwise.
+    data_grid: Optional[Any] = None
 
     @property
     def ma_names(self) -> List[str]:
@@ -157,6 +181,15 @@ class Federation:
     @property
     def client_host(self) -> Host:
         """The shared core-attached service node clients run on."""
+        return self.platform.client_host
+
+    def client_host_for(self, grid_index: int) -> Host:
+        """Where a client homed on ``grid_index`` runs: the grid's own
+        client host under "per-grid" placement, else the shared core node.
+        """
+        grid = self.grids[grid_index % len(self.grids)]
+        if grid.client_host is not None:
+            return grid.client_host
         return self.platform.client_host
 
     def launch_all(self) -> None:
@@ -193,6 +226,14 @@ def build_federation(engine: Engine, config: FederationConfig,
 
         memo = MemoIndex(obs=tracer.obs)
         federation.memo = memo
+    data_grid = None
+    if config.data is not None:
+        # One federation-wide replica catalog: handles resolve across
+        # grids, matching the federation-wide memo.
+        from ..data.manager import DataGrid
+
+        data_grid = DataGrid(platform.network)
+        federation.data_grid = data_grid
     for g in range(config.n_grids):
         prefix = f"g{g}-"
         clusters = [cluster for name, cluster in platform.clusters.items()
@@ -205,17 +246,39 @@ def build_federation(engine: Engine, config: FederationConfig,
         platform.network.connect(
             ma_host.name, site_router.name,
             Link(engine, f"lan-{prefix}ma", _LAN_LATENCY, _LAN_BW))
+        policy = None
+        if config.policy is not None:
+            # A fresh instance per MA: policies keep per-hierarchy state
+            # (round-robin counters, history means).
+            from .scheduling import make_policy
+
+            policy = make_policy(config.policy)
         ma = MasterAgent(fabric, ma_host, name=f"MA{g}",
                          params=config.agent_params, tracer=tracer,
-                         routing=config.routing)
+                         routing=config.routing, policy=policy)
         ma.memo = memo
+        if data_grid is not None:
+            ma.data_catalog = data_grid.root
+            ma.data_cost_fn = data_grid.transfer_cost
         grid = FederatedGrid(index=g, ma=ma)
+        if config.client_placement == "per-grid":
+            client_host = platform.network.add_host(
+                Host(engine, f"{prefix}client", speed=2.4))
+            platform.network.connect(
+                client_host.name, site_router.name,
+                Link(engine, f"lan-{prefix}client", _LAN_LATENCY, _LAN_BW))
+            grid.client_host = client_host
         for cluster in clusters:
             la = LocalAgent(fabric, cluster.frontend,
                             name=f"LA-{cluster.full_name}", parent=ma.name,
                             params=config.agent_params, tracer=tracer,
                             routing=config.routing)
             la.memo = memo
+            la_node = None
+            if data_grid is not None:
+                la_node = data_grid.node(la.name)
+                la.data_catalog = la_node
+                data_grid.volumes[cluster.nfs.name] = cluster.nfs
             ma.add_child(la.name)
             grid.local_agents.append(la)
             for host in cluster.sed_hosts:
@@ -224,6 +287,8 @@ def build_federation(engine: Engine, config: FederationConfig,
                           tracer=tracer, nfs=cluster.nfs, parent=la.name,
                           routing=config.routing)
                 sed.data_manager.memo = memo
+                if data_grid is not None:
+                    data_grid.attach(sed, la_node, config.data)
                 la.add_child(sed.name)
                 grid.seds.append(sed)
         federation.grids.append(grid)
@@ -233,13 +298,18 @@ def build_federation(engine: Engine, config: FederationConfig,
 class FederatedClient:
     """A client homed on one MA that fails over to sibling MAs.
 
-    Redirection policy: the home MA is tried first; a rejection
-    (``ServerNotFoundError`` — no candidate survived the grace period) or
-    an unreachable MA (``CommunicationError``) rotates to the next MA in
-    federation order.  The request fails only once every MA declined.
-    ``redirects`` counts submits retried on a sibling MA, ``rejections``
-    every per-MA refusal (also exported as the ``federation.redirects`` /
-    ``federation.rejections`` metrics when observability is on).
+    Redirection policy: MAs are tried in least-recent-rejection order —
+    the MA-level load feedback loop.  Before any MA has refused this
+    client the order is exactly the old home-first rotation; once an MA
+    rejects (``ServerNotFoundError`` — no candidate survived the grace
+    period) or is unreachable (``CommunicationError``), it sinks to the
+    back of the order until every other MA has rejected more recently.
+    The per-MA refusal counts/stamps feeding the order are the same
+    events exported as the ``federation.rejections`` metric (labelled by
+    MA), so the policy consumes exactly what observability reports.  The
+    request fails only once every tried MA declined.  ``redirects``
+    counts submits retried on a sibling MA, ``rejections`` every per-MA
+    refusal.
     """
 
     def __init__(self, fabric: TransportFabric, host: Host, name: str,
@@ -262,6 +332,11 @@ class FederatedClient:
         self.endpoint.start()
         self.redirects = 0
         self.rejections = 0
+        #: Per-MA refusal counts (the ``federation.rejections`` breakdown).
+        self.rejections_by_ma: dict = {}
+        #: Simulated instant each MA last refused us; feeds the
+        #: least-recent-rejection order.
+        self._last_rejected: dict = {}
         #: Stamp submits with canonical request-descriptor digests so MAs
         #: can answer repeats from the federation-wide memo.
         self.memo_enabled = memo_enabled
@@ -270,11 +345,29 @@ class FederatedClient:
         self.memo_fallbacks = 0
 
     def _ma_order(self) -> List[str]:
+        """Least-recent-rejection order, home-rotation as the tiebreak.
+
+        Deterministic: never-rejected MAs sort first in rotation order
+        (byte-identical to the old fixed rotation until the first
+        rejection), then ascending last-rejection stamp — simulated time,
+        so identical per seed.
+        """
         n = len(self.ma_names)
-        order = [self.ma_names[(self.home + i) % n] for i in range(n)]
+        rotation = [self.ma_names[(self.home + i) % n] for i in range(n)]
+        position = {name: i for i, name in enumerate(rotation)}
+        order = sorted(rotation,
+                       key=lambda name: (
+                           self._last_rejected.get(name, float("-inf")),
+                           position[name]))
         if self.max_redirects is not None:
             order = order[:self.max_redirects + 1]
         return order
+
+    def _note_rejection(self, ma_name: str) -> None:
+        self.rejections += 1
+        self.rejections_by_ma[ma_name] = \
+            self.rejections_by_ma.get(ma_name, 0) + 1
+        self._last_rejected[ma_name] = self.engine.now
 
     def call(self, profile: Profile
              ) -> Generator[Event, Any, Tuple[int, str, float]]:
@@ -299,6 +392,13 @@ class FederatedClient:
             last_error: Optional[Exception] = None
             fell_back = False
             order = self._ma_order()
+            resident: dict = {}
+            handles = []
+            for arg in profile.arguments:
+                if isinstance(arg.value, DataHandle):
+                    handles.append(arg.value)
+                    resident[arg.value.sed_name] = \
+                        resident.get(arg.value.sed_name, 0) + arg.value.nbytes
             for i, ma_name in enumerate(order):
                 request_id = self.fabric.new_request_id()
                 sub = SubmitRequest(request_id=request_id,
@@ -306,13 +406,15 @@ class FederatedClient:
                                     client_host=self.host.name,
                                     client_endpoint=self.endpoint.name,
                                     request_nbytes=profile.request_nbytes(),
+                                    resident_bytes=resident,
+                                    data_handles=tuple(handles),
                                     memo_key=memo_key)
                 try:
                     sed_name, est = yield from self.endpoint.rpc(
                         ma_name, "submit", sub)
                 except (ServerNotFoundError, CommunicationError) as exc:
                     last_error = exc
-                    self.rejections += 1
+                    self._note_rejection(ma_name)
                     if obs.enabled:
                         obs.metrics.counter("federation.rejections",
                                             ma=ma_name).inc(1, self.engine.now)

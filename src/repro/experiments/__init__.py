@@ -14,6 +14,7 @@ from . import (
     overhead,
     runner,
     scaling_nodes,
+    survey_campaign,
     table_timings,
 )
 from .report import ascii_gantt, ascii_series, ascii_table, hms, ms
@@ -36,5 +37,6 @@ __all__ = [
     "overhead",
     "runner",
     "scaling_nodes",
+    "survey_campaign",
     "table_timings",
 ]

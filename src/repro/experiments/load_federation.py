@@ -159,7 +159,12 @@ def _run_point(routing: str, offered: float, duration: float,
         FederationConfig(n_grids=n_grids,
                          clusters_per_grid=clusters_per_grid,
                          routing=routing, agent_params=agent_params,
-                         memo=memo_on),
+                         memo=memo_on,
+                         # E13's published numbers predate per-grid client
+                         # hosts: pin the legacy shared-core placement so
+                         # the sweep stays byte-identical (E14 exercises
+                         # the priced per-grid placement).
+                         client_placement="core"),
         obs=obs)
     for cls in DEFAULT_MIX:
         federation.add_service_everywhere(

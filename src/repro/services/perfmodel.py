@@ -35,8 +35,9 @@ import numpy as np
 
 from ..sim.rng import RandomStreams
 
-__all__ = ["RamsesPerfModel", "PAPER_PART1_SECONDS", "PAPER_PART2_MEAN_SECONDS",
-           "PAPER_TOTAL_SECONDS", "PAPER_RESOLUTION", "PAPER_BOX_MPC_H"]
+__all__ = ["RamsesPerfModel", "SurveyPerfModel", "PAPER_PART1_SECONDS",
+           "PAPER_PART2_MEAN_SECONDS", "PAPER_TOTAL_SECONDS",
+           "PAPER_RESOLUTION", "PAPER_BOX_MPC_H"]
 
 #: §5.2 headline numbers (seconds).
 PAPER_PART1_SECONDS = 1 * 3600 + 15 * 60 + 11      # 4511
@@ -165,3 +166,70 @@ class RamsesPerfModel:
     def result_tarball_bytes(self, resolution: int) -> int:
         """Size of the packed GALICS products shipped back to the client."""
         return int(4e6 + 64.0 * resolution ** 2)
+
+
+@dataclass(frozen=True)
+class SurveyPerfModel:
+    """Work model for the survey pipeline services (IC -> run -> lensing).
+
+    Survey boxes are modest full-box runs swept over many cosmologies
+    (LensTools shape), not deep zooms: the work is noise-free and scales
+    with particles x steps for the N-body stages and with plane pixels
+    for the lensing stages.  Same unit convention as
+    :class:`RamsesPerfModel`: work is GHz-seconds, a host of speed ``s``
+    takes ``work / s`` seconds.
+    """
+
+    #: GHz-seconds per particle-step of the survey solver (single-level
+    #: full box, no AMR subcycling — cheaper per particle than a zoom).
+    kappa: float = 2.0e-6
+    #: coarse steps of one survey box.
+    n_steps: int = 40
+    #: IC generation (CAMB + GRAFIC pass) relative to a run.
+    ic_fraction: float = 0.05
+    #: GHz-seconds per lens-plane pixel of the Born ray bookkeeping.
+    kappa_lens: float = 2.0e-4
+    #: effective NFS throughput for staging products, bytes/s.
+    nfs_throughput: float = 60e6
+
+    # -- work (GHz-seconds) --------------------------------------------------------------
+
+    def ic_work(self, resolution: int) -> float:
+        """Initial-conditions generation for one cosmology point."""
+        if resolution < 2:
+            raise ValueError("resolution must be >= 2")
+        return self.kappa * resolution ** 3 * self.n_steps * self.ic_fraction
+
+    def run_work(self, resolution: int) -> float:
+        """One full-box survey run at ``resolution``^3 particles."""
+        if resolution < 2:
+            raise ValueError("resolution must be >= 2")
+        return self.kappa * resolution ** 3 * self.n_steps
+
+    def lensing_work(self, resolution: int, n_planes: int) -> float:
+        """Born stacking of ``n_planes`` density slabs into one map."""
+        if n_planes < 1:
+            raise ValueError("n_planes must be >= 1")
+        return self.kappa_lens * n_planes * resolution ** 2
+
+    def reduce_work(self, resolution: int) -> float:
+        """Pairwise weighted stack of two convergence maps."""
+        return self.kappa_lens * resolution ** 2
+
+    # -- data sizes ----------------------------------------------------------------------
+
+    def ic_bytes(self, resolution: int) -> int:
+        """Displacement field: 3 doubles per particle."""
+        return int(resolution ** 3 * 3 * 8)
+
+    def slab_bytes(self, resolution: int, n_planes: int) -> int:
+        """Projected density slabs: ``n_planes`` single-precision planes."""
+        return int(n_planes * resolution ** 2 * 4)
+
+    def map_bytes(self, resolution: int) -> int:
+        """One convergence map, single precision."""
+        return int(resolution ** 2 * 4)
+
+    def nfs_seconds(self, nbytes: int) -> float:
+        """Uncontended NFS time for staging ``nbytes`` of products."""
+        return nbytes / self.nfs_throughput

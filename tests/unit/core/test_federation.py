@@ -221,3 +221,72 @@ class TestChurn:
             federation, ChurnPlan(n_outages=0, start=0.0, end=1.0),
             RandomStreams(1))
         assert injector.pending == 0
+
+
+class TestClientPlacement:
+    def test_per_grid_placement_is_the_default(self):
+        engine = Engine()
+        federation = build_federation(
+            engine, FederationConfig(n_grids=2, clusters_per_grid=1))
+        assert federation.grids[0].client_host is not None
+        assert federation.client_host_for(0).name == "g0-client"
+        assert federation.client_host_for(1).name == "g1-client"
+        # The shared core-attached host still exists for legacy callers.
+        assert federation.client_host is federation.platform.client_host
+
+    def test_core_placement_restores_the_shared_host(self):
+        """The pre-placement wiring: every client on the core service
+        node (what E13's pinned numbers were measured under)."""
+        engine = Engine()
+        federation = build_federation(
+            engine, FederationConfig(n_grids=2, clusters_per_grid=1,
+                                     client_placement="core"))
+        assert all(grid.client_host is None for grid in federation.grids)
+        assert federation.client_host_for(0) is federation.platform.client_host
+        assert federation.client_host_for(1) is federation.platform.client_host
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            FederationConfig(client_placement="nearest")
+
+
+class TestLeastRecentRejectionOrder:
+    def _client(self, n_grids=3):
+        engine = Engine()
+        federation = build_federation(
+            engine, FederationConfig(n_grids=n_grids, clusters_per_grid=1))
+        return FederatedClient(federation.fabric, federation.client_host,
+                               name="cli", ma_names=federation.ma_names,
+                               home=1)
+
+    def test_order_matches_home_rotation_before_any_rejection(self):
+        client = self._client()
+        assert client._ma_order() == ["MA1", "MA2", "MA0"]
+
+    def test_rejected_ma_sinks_to_the_back(self):
+        client = self._client()
+        client._last_rejected["MA1"] = 4.0
+        assert client._ma_order() == ["MA2", "MA0", "MA1"]
+
+    def test_least_recent_rejection_ranks_first_among_rejected(self):
+        client = self._client()
+        client._last_rejected.update({"MA1": 4.0, "MA2": 9.0, "MA0": 1.0})
+        assert client._ma_order() == ["MA0", "MA1", "MA2"]
+
+    def test_simultaneous_rejections_fall_back_to_rotation(self):
+        client = self._client()
+        client._last_rejected.update({"MA0": 2.0, "MA2": 2.0})
+        assert client._ma_order() == ["MA1", "MA2", "MA0"]
+
+    def test_note_rejection_feeds_counts_and_stamps(self):
+        client = self._client()
+        client._note_rejection("MA2")
+        client._note_rejection("MA2")
+        assert client.rejections == 2
+        assert client.rejections_by_ma == {"MA2": 2}
+        assert "MA2" in client._last_rejected
+
+    def test_max_redirects_truncates_the_order(self):
+        client = self._client()
+        client.max_redirects = 1
+        assert client._ma_order() == ["MA1", "MA2"]
